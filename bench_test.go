@@ -1,0 +1,267 @@
+package hetkg
+
+// The bench harness: one macro-benchmark per table and figure of the paper
+// (each runs the corresponding experiment end-to-end at tiny scale and
+// reports simulated cluster time as custom metrics), plus micro-benchmarks
+// of the hot paths (scoring, sampling, cache ops, partitioning, PS
+// pull/push).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Full-size experiment sweeps are the hetkg-bench binary's job:
+//
+//	go run ./cmd/hetkg-bench -exp all -scale small
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetkg/internal/cache"
+	"hetkg/internal/core"
+	"hetkg/internal/dataset"
+	"hetkg/internal/kg"
+	"hetkg/internal/model"
+	"hetkg/internal/opt"
+	"hetkg/internal/partition"
+	"hetkg/internal/ps"
+	"hetkg/internal/sampler"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := core.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opts := core.Options{Scale: dataset.Tiny, Seed: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Macro benches: every paper artifact.
+
+func BenchmarkTable1CommFraction(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkFig2AccessSkew(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkTable3FB15k(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkTable4WN18(b *testing.B)          { benchExperiment(b, "table4") }
+func BenchmarkTable5Freebase(b *testing.B)      { benchExperiment(b, "table5") }
+func BenchmarkFig5Convergence(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6Scalability(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7Breakdown(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8aCacheSize(b *testing.B)      { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bStaleness(b *testing.B)      { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cEntityRatio(b *testing.B)    { benchExperiment(b, "fig8c") }
+func BenchmarkFig9StalenessCurves(b *testing.B) { benchExperiment(b, "fig9") }
+func BenchmarkTable6CachePolicies(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7Heterogeneity(b *testing.B) { benchExperiment(b, "table7") }
+
+// Ablation benches (design choices called out in DESIGN.md).
+
+func BenchmarkAblationPartition(b *testing.B)   { benchExperiment(b, "xablation-partition") }
+func BenchmarkAblationNegSampling(b *testing.B) { benchExperiment(b, "xablation-negsampling") }
+func BenchmarkAblationStrategy(b *testing.B)    { benchExperiment(b, "xablation-strategy") }
+func BenchmarkAblationQuantize(b *testing.B)    { benchExperiment(b, "xablation-quantize") }
+func BenchmarkAblationAdversarial(b *testing.B) { benchExperiment(b, "xablation-adversarial") }
+func BenchmarkAblationBandwidth(b *testing.B)   { benchExperiment(b, "xablation-bandwidth") }
+func BenchmarkAblationHardNegs(b *testing.B)    { benchExperiment(b, "xablation-hardnegs") }
+func BenchmarkTheoryStaleness(b *testing.B)     { benchExperiment(b, "xtheory-staleness") }
+
+// BenchmarkEpochPerSystem reports the simulated epoch time of each system
+// on the same workload — the repository's headline comparison.
+func BenchmarkEpochPerSystem(b *testing.B) {
+	for _, sys := range Systems() {
+		b.Run(string(sys), func(b *testing.B) {
+			var comp, comm float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(RunConfig{
+					Dataset:   "fb15k",
+					Scale:     ScaleTiny,
+					System:    sys,
+					Dim:       64,
+					BatchSize: 128,
+					Epochs:    1,
+					EvalEvery: -1,
+					Seed:      42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comp += res.Comp.Seconds()
+				comm += res.Comm.Seconds()
+			}
+			b.ReportMetric(comp/float64(b.N)*1000, "comp-ms/epoch")
+			b.ReportMetric(comm/float64(b.N)*1000, "comm-ms/epoch")
+		})
+	}
+}
+
+// Micro benches: the hot paths.
+
+func benchScore(b *testing.B, m model.Model) {
+	d := 64
+	rng := rand.New(rand.NewSource(1))
+	h := make([]float32, m.EntityDim(d))
+	r := make([]float32, m.RelationDim(d))
+	t := make([]float32, m.EntityDim(d))
+	for _, v := range [][]float32{h, r, t} {
+		for i := range v {
+			v[i] = rng.Float32()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += m.Score(h, r, t)
+	}
+	_ = sink
+}
+
+func BenchmarkScoreTransE(b *testing.B)   { benchScore(b, model.TransE{Norm: 1}) }
+func BenchmarkScoreDistMult(b *testing.B) { benchScore(b, model.DistMult{}) }
+func BenchmarkScoreComplEx(b *testing.B)  { benchScore(b, model.ComplEx{}) }
+
+func BenchmarkGradTransE(b *testing.B) {
+	m := model.TransE{Norm: 1}
+	d := 64
+	h := make([]float32, d)
+	r := make([]float32, d)
+	t := make([]float32, d)
+	gh := make([]float32, d)
+	gr := make([]float32, d)
+	gt := make([]float32, d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Grad(h, r, t, 1, gh, gr, gt)
+	}
+}
+
+func BenchmarkSamplerChunked(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	smp, err := sampler.New(sampler.Config{
+		BatchSize: 128, NegPerPos: 16, ChunkSize: 16, NumEntity: g.NumEntity,
+	}, g, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.Next()
+	}
+}
+
+func BenchmarkPrefetchAndFilter(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		smp, err := sampler.New(sampler.Config{
+			BatchSize: 64, NegPerPos: 8, ChunkSize: 8, NumEntity: g.NumEntity,
+		}, g, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre := cache.Prefetch(smp, 16)
+		if _, err := cache.Filter(pre, cache.FilterConfig{
+			Capacity: 64, EntityFraction: 0.25, Heterogeneity: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCachePolicies(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	smp, _ := sampler.New(sampler.Config{
+		BatchSize: 64, NegPerPos: 8, ChunkSize: 8, NumEntity: g.NumEntity,
+	}, g, rand.New(rand.NewSource(1)))
+	pre := cache.Prefetch(smp, 30)
+	var stream []ps.Key
+	for _, bt := range pre.Batches {
+		ents, rels := bt.DistinctIDs()
+		for _, e := range ents {
+			stream = append(stream, ps.EntityKey(e))
+		}
+		for _, r := range rels {
+			stream = append(stream, ps.RelationKey(r))
+		}
+	}
+	for _, name := range []string{"fifo", "lru", "lfu"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, _ := cache.NewPolicy(name, 64)
+				cache.ReplayHitRatio(p, stream)
+			}
+		})
+	}
+}
+
+func BenchmarkPartitioner(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	for _, name := range []string{"random", "metis"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, _ := partition.New(name, int64(i))
+				if _, err := p.Partition(g, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPSPullPush(b *testing.B) {
+	part := make([]int32, 1000)
+	for i := range part {
+		part[i] = int32(i % 4)
+	}
+	cluster, err := ps.NewCluster(ps.ClusterConfig{
+		NumMachines:  4,
+		EntityPart:   part,
+		NumRelations: 20,
+		EntityDim:    64,
+		RelationDim:  64,
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdaGrad(0.1, 1e-10) },
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := ps.NewClient(0, cluster, ps.NewInProc(cluster), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]ps.Key, 128)
+	for i := range keys {
+		keys[i] = ps.EntityKey(kg.EntityID(i * 7 % 1000))
+	}
+	grad := make([]float32, 64)
+	grad[0] = 0.01
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := make(map[ps.Key][]float32, len(keys))
+		if err := client.Pull(keys, rows); err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Push(map[ps.Key][]float32{keys[i%len(keys)]: grad}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dataset.FB15kLike(dataset.Tiny, int64(i))
+	}
+}

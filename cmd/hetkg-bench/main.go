@@ -1,0 +1,93 @@
+// hetkg-bench regenerates the tables and figures of the HET-KG paper.
+//
+// Usage:
+//
+//	hetkg-bench -list
+//	hetkg-bench -exp table3,table6 -scale small
+//	hetkg-bench -exp all -scale tiny
+//
+// Each experiment prints a text table matching the corresponding paper
+// artifact; EXPERIMENTS.md records paper-vs-measured for every row.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hetkg"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or \"all\"")
+		scale   = flag.String("scale", "small", "workload scale: tiny | small | paper")
+		seed    = flag.Int64("seed", 42, "random seed")
+		verbose = flag.Bool("v", false, "log progress")
+		asJSON  = flag.Bool("json", false, "emit tables as JSON lines instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range hetkg.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = hetkg.ExperimentIDs()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	opts := hetkg.ExperimentOptions{
+		Scale: hetkg.ParseScale(*scale),
+		Seed:  *seed,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[bench] "+format+"\n", args...)
+		}
+	}
+
+	failures := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := hetkg.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failures++
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failures++
+			continue
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(tab); err != nil {
+				fmt.Fprintln(os.Stderr, "encode:", err)
+				failures++
+			}
+			continue
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "render:", err)
+			failures++
+			continue
+		}
+		fmt.Printf("(%s wall time: %v, scale=%s, seed=%d)\n\n",
+			id, time.Since(start).Round(time.Millisecond), *scale, *seed)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// hetkg-eval scores a saved checkpoint on a link-prediction test set.
+//
+// Usage:
+//
+//	hetkg-eval -ckpt model.ckpt                       # preset test split from the checkpoint's provenance
+//	hetkg-eval -ckpt model.ckpt -in test.tsv          # user-supplied test triples
+//	hetkg-eval -ckpt model.ckpt -candidates 1000      # sampled-candidate protocol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hetkg"
+	"hetkg/internal/eval"
+	"hetkg/internal/kg"
+)
+
+func main() {
+	var (
+		ckptPath   = flag.String("ckpt", "", "checkpoint file written by hetkg-train -save (required)")
+		in         = flag.String("in", "", "TSV test triples (default: re-derive the preset's test split)")
+		scale      = flag.String("scale", "small", "scale of the provenance dataset")
+		candidates = flag.Int("candidates", 0, "rank against this many sampled negatives (0 = all entities)")
+		maxTriples = flag.Int("max", 1000, "maximum test triples to score (0 = all)")
+		filtered   = flag.Bool("filtered", true, "exclude known positives from candidate rankings")
+		task       = flag.String("task", "linkpred", "evaluation task: linkpred | classify")
+	)
+	flag.Parse()
+	if *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "-ckpt is required")
+		os.Exit(2)
+	}
+
+	c, err := hetkg.ReadCheckpoint(*ckptPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mdl, err := hetkg.NewModel(c.ModelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var test []hetkg.Triple
+	var filter *kg.TripleSet
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		g, _, err := kg.ReadTSV(f, *in)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parse:", err)
+			os.Exit(1)
+		}
+		test = g.Triples
+		filter = kg.NewTripleSet(g.Triples)
+	} else {
+		g, ok := hetkg.DatasetByName(c.Dataset, hetkg.ParseScale(*scale), c.Seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "checkpoint's dataset %q is not a preset; pass -in\n", c.Dataset)
+			os.Exit(2)
+		}
+		sp, err := kg.SplitTriples(g, rand.New(rand.NewSource(c.Seed+17)), 0.05, 0.05)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		test = sp.Test.Triples
+		filter = sp.AllTriples()
+	}
+	if *maxTriples > 0 && len(test) > *maxTriples {
+		test = test[:*maxTriples]
+	}
+	if !*filtered {
+		filter = nil
+	}
+
+	cfg := hetkg.EvalConfig{
+		Model:         mdl,
+		Entities:      c.Entities,
+		Relations:     c.Relations,
+		Filter:        filter,
+		NumCandidates: *candidates,
+		Seed:          c.Seed + 99,
+	}
+	fmt.Printf("checkpoint %s: model=%s dim=%d dataset=%s system=%s epochs=%d\n",
+		*ckptPath, c.ModelName, c.Dim, c.Dataset, c.System, c.Epochs)
+	switch *task {
+	case "classify":
+		// Use the first half of the test triples to learn thresholds and
+		// the second half to measure accuracy.
+		if len(test) < 4 {
+			fmt.Fprintln(os.Stderr, "classify needs at least 4 test triples")
+			os.Exit(1)
+		}
+		half := len(test) / 2
+		cres, err := eval.Classify(cfg, test[:half], test[half:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "classify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("triple classification over %d triples: accuracy %.3f (%d relations)\n",
+			cres.N, cres.Accuracy, len(cres.PerRelation))
+	default:
+		res, err := hetkg.Evaluate(cfg, test)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("test triples: %d (%d rankings)\n", len(test), res.N)
+		fmt.Printf("%s | Hits@3 %.3f\n", res, res.Hits[3])
+	}
+}

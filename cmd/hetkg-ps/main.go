@@ -1,0 +1,66 @@
+// hetkg-ps hosts one parameter-server shard as a standalone process, the
+// multi-process deployment of the co-located PS architecture. Every shard
+// derives its own rows deterministically from the run configuration (no
+// state transfer), so a cluster is just N hetkg-ps processes plus one
+// hetkg-train -shards process pointing at them.
+//
+// Example 2-machine deployment (three terminals):
+//
+//	hetkg-ps    -dataset fb15k -scale tiny -machines 2 -machine 0 -listen :7070
+//	hetkg-ps    -dataset fb15k -scale tiny -machines 2 -machine 1 -listen :7071
+//	hetkg-train -dataset fb15k -scale tiny -machines 2 -shards localhost:7070,localhost:7071
+//
+// Every flag shared with hetkg-train must be given the same value on all
+// processes — the deterministic derivation depends on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"hetkg"
+)
+
+func main() {
+	var (
+		ds       = flag.String("dataset", "fb15k", "dataset preset: fb15k | wn18 | freebase86m")
+		scale    = flag.String("scale", "small", "dataset scale: tiny | small | paper")
+		mdl      = flag.String("model", "transe", "model (fixes the row widths)")
+		dim      = flag.Int("dim", 0, "embedding dimension d (0 = scale default)")
+		lr       = flag.Float64("lr", 0.1, "optimizer learning rate")
+		optim    = flag.String("optimizer", "adagrad", "optimizer: adagrad | sgd | adam")
+		machines = flag.Int("machines", 2, "total cluster machines")
+		machine  = flag.Int("machine", 0, "this shard's machine index [0, machines)")
+		partName = flag.String("partitioner", "metis", "graph partitioner: metis | ldg | random")
+		seed     = flag.Int64("seed", 42, "random seed (must match the trainer)")
+		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+	)
+	flag.Parse()
+
+	shard, err := hetkg.BuildShard(hetkg.RunConfig{
+		Dataset:         *ds,
+		Scale:           hetkg.ParseScale(*scale),
+		ModelName:       *mdl,
+		Dim:             *dim,
+		LR:              float32(*lr),
+		OptimizerName:   *optim,
+		Machines:        *machines,
+		PartitionerName: *partName,
+		Seed:            *seed,
+	}, *machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "building shard:", err)
+		os.Exit(1)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hetkg-ps: shard %d/%d serving %d rows on %s (dataset=%s scale=%s seed=%d)\n",
+		*machine, *machines, shard.NumRows(), l.Addr(), *ds, *scale, *seed)
+	hetkg.ServeShard(l, shard)
+}

@@ -1,0 +1,107 @@
+// hetkg-trace compares training runs recorded with hetkg-train -trace:
+// aligned per-epoch columns plus an ASCII sparkline per run, for quick
+// convergence comparison without leaving the terminal.
+//
+// Usage:
+//
+//	hetkg-train -dataset fb15k -system dglke   -trace a.jsonl
+//	hetkg-train -dataset fb15k -system hetkg-d -trace b.jsonl
+//	hetkg-trace a.jsonl b.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetkg/internal/trace"
+)
+
+func main() {
+	metric := flag.String("metric", "mrr", "column to compare: mrr | loss | comm_ms | hit_ratio")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hetkg-trace [-metric mrr|loss|comm_ms|hit_ratio] run1.jsonl [run2.jsonl ...]")
+		os.Exit(2)
+	}
+
+	type loaded struct {
+		name string
+		run  *trace.Run
+		vals []float64
+	}
+	var runs []loaded
+	maxEpochs := 0
+	for _, path := range flag.Args() {
+		r, err := trace.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		vals := make([]float64, len(r.Epochs))
+		for i, e := range r.Epochs {
+			switch *metric {
+			case "loss":
+				vals[i] = e.Loss
+			case "comm_ms":
+				vals[i] = e.CommMS
+			case "hit_ratio":
+				vals[i] = e.HitRatio
+			default:
+				vals[i] = e.MRR
+			}
+		}
+		name := fmt.Sprintf("%s/%s", r.Header.System, r.Header.Dataset)
+		runs = append(runs, loaded{name: name, run: r, vals: vals})
+		if len(vals) > maxEpochs {
+			maxEpochs = len(vals)
+		}
+	}
+
+	// Aligned table.
+	fmt.Printf("%-28s", "epoch:")
+	for e := 1; e <= maxEpochs; e++ {
+		fmt.Printf("%9d", e)
+	}
+	fmt.Println()
+	for _, r := range runs {
+		fmt.Printf("%-28s", r.name)
+		for _, v := range r.vals {
+			fmt.Printf("%9.3f", v)
+		}
+		fmt.Println()
+	}
+
+	// Sparklines (min-max normalized per run).
+	fmt.Printf("\n%s over epochs:\n", *metric)
+	for _, r := range runs {
+		fmt.Printf("%-28s %s\n", r.name, sparkline(r.vals))
+	}
+}
+
+// sparkline renders values as Unicode block characters, min-max scaled.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+// hetkg-train runs one distributed KGE training job and reports per-epoch
+// progress, the final link-prediction metrics, and the time/traffic
+// breakdown.
+//
+// Usage:
+//
+//	hetkg-train -dataset fb15k -system hetkg-d -model transe -machines 4 -epochs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetkg"
+	"hetkg/internal/trace"
+)
+
+func main() {
+	var (
+		ds       = flag.String("dataset", "fb15k", "dataset preset: fb15k | wn18 | freebase86m")
+		scale    = flag.String("scale", "small", "dataset scale: tiny | small | paper")
+		system   = flag.String("system", "hetkg-d", "system: pbg | dglke | hetkg-c | hetkg-d")
+		mdl      = flag.String("model", "transe", "model: transe | transe_l2 | distmult | transh | complex")
+		loss     = flag.String("loss", "logistic", "loss: logistic | ranking")
+		optim    = flag.String("optimizer", "adagrad", "optimizer: adagrad | sgd | adam")
+		margin   = flag.Float64("margin", 1.0, "ranking-loss margin γ")
+		dim      = flag.Int("dim", 0, "embedding dimension d (0 = scale default)")
+		lr       = flag.Float64("lr", 0.1, "AdaGrad learning rate")
+		epochs   = flag.Int("epochs", 0, "training epochs (0 = scale default)")
+		batch    = flag.Int("batch", 0, "positive batch size b_p (0 = scale default)")
+		negs     = flag.Int("negs", 8, "negatives per positive b_n")
+		chunk    = flag.Int("chunk", 8, "negative-sampling chunk size b_c")
+		machines = flag.Int("machines", 4, "cluster machines (PS shards)")
+		workers  = flag.Int("workers", 1, "workers per machine")
+		partName = flag.String("partitioner", "metis", "graph partitioner: metis | random")
+		capacity = flag.Int("cache", 0, "hot-embedding table capacity k (0 = 5% of ids)")
+		syncP    = flag.Int("staleness", 8, "staleness bound P (cache refresh interval)")
+		preD     = flag.Int("prefetch", 16, "prefetch depth D (DPS rebuild interval)")
+		entFrac  = flag.Float64("entity-ratio", 0.25, "entity share of the cache (heterogeneity quota)")
+		noHet    = flag.Bool("no-heterogeneity", false, "disable the entity/relation quota (HET-KG-N)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		inFile   = flag.String("in", "", "train on TSV triples from this file instead of a preset")
+		save     = flag.String("save", "", "write the trained embeddings to this checkpoint file")
+		load     = flag.String("load", "", "resume training from this checkpoint file")
+		shards   = flag.String("shards", "", "comma-separated hetkg-ps addresses (one per machine) for a multi-process run")
+		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
+		machine  = flag.Int("machine", -1, "run only this machine's workers (-1 = all; requires -shards for a real deployment)")
+		advTemp  = flag.Float64("adversarial", 0, "self-adversarial negative sampling temperature (0 = off)")
+		degNegs  = flag.Bool("degree-negatives", false, "corrupt with degree^0.75-weighted entities (hard negatives)")
+	)
+	flag.Parse()
+
+	sys, ok := map[string]hetkg.System{
+		"pbg":     hetkg.SystemPBG,
+		"dglke":   hetkg.SystemDGLKE,
+		"hetkg-c": hetkg.SystemHETKGC,
+		"hetkg-d": hetkg.SystemHETKGD,
+	}[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	var custom *hetkg.Graph
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		custom, _, err = hetkg.ReadTSV(f, *inFile)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parse:", err)
+			os.Exit(1)
+		}
+		*ds = *inFile
+	}
+
+	var shardAddrs []string
+	if *shards != "" {
+		shardAddrs = strings.Split(*shards, ",")
+	}
+	var resume *hetkg.Checkpoint
+	if *load != "" {
+		var err error
+		resume, err = hetkg.ReadCheckpoint(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resuming from %s (model=%s epochs=%d)\n", *load, resume.ModelName, resume.Epochs)
+	}
+
+	res, err := hetkg.Run(hetkg.RunConfig{
+		Graph:                   custom,
+		Dataset:                 *ds,
+		Scale:                   hetkg.ParseScale(*scale),
+		System:                  sys,
+		ModelName:               *mdl,
+		LossName:                *loss,
+		OptimizerName:           *optim,
+		Margin:                  float32(*margin),
+		Dim:                     *dim,
+		LR:                      float32(*lr),
+		Epochs:                  *epochs,
+		BatchSize:               *batch,
+		NegPerPos:               *negs,
+		ChunkSize:               *chunk,
+		Machines:                *machines,
+		WorkersPerMachine:       *workers,
+		PartitionerName:         *partName,
+		CacheCapacity:           *capacity,
+		CacheSyncEvery:          *syncP,
+		CachePrefetchD:          *preD,
+		EntityFraction:          *entFrac,
+		NoHeterogeneity:         *noHet,
+		ShardAddrs:              shardAddrs,
+		Resume:                  resume,
+		LocalMachines:           localMachines(*machine),
+		AdversarialTemp:         float32(*advTemp),
+		DegreeWeightedNegatives: *degNegs,
+		Seed:                    *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("system=%s dataset=%s scale=%s model=%s machines=%d seed=%d\n",
+		res.System, *ds, *scale, *mdl, *machines, *seed)
+	for _, e := range res.Epochs {
+		fmt.Printf("epoch %2d  loss %.4f  mrr %.3f  comp %v  comm %v  hit %.3f\n",
+			e.Epoch, e.Loss, e.MRR, e.Comp.Round(1e6), e.Comm.Round(1e6), e.HitRatio)
+	}
+	fmt.Printf("final: %s\n", res.Final)
+	fmt.Printf("time: comp %v + comm %v = %v (simulated cluster time)\n",
+		res.Comp.Round(1e6), res.Comm.Round(1e6), res.Total().Round(1e6))
+	fmt.Printf("traffic: %s\n", res.Traffic)
+	if res.HitRatio > 0 {
+		fmt.Printf("cache: hit ratio %.3f, refreshed rows %d\n", res.HitRatio, res.RefreshRows)
+	}
+	if *traceOut != "" {
+		err := trace.WriteFile(*traceOut, trace.Header{
+			Dataset:  *ds,
+			Model:    *mdl,
+			Dim:      res.Entities.Dim,
+			Machines: *machines,
+			Seed:     *seed,
+		}, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *save != "" {
+		err := hetkg.WriteCheckpoint(*save, &hetkg.Checkpoint{
+			ModelName: *mdl,
+			Dim:       res.Entities.Dim,
+			Dataset:   *ds,
+			Seed:      *seed,
+			Epochs:    len(res.Epochs),
+			System:    res.System,
+			Entities:  res.Entities,
+			Relations: res.Relations,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *save)
+	}
+}
+
+// localMachines converts the -machine flag to a machine filter.
+func localMachines(m int) []int {
+	if m < 0 {
+		return nil
+	}
+	return []int{m}
+}

@@ -1,0 +1,3 @@
+module hetkg
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package hetkg is a pure-Go implementation of HET-KG (ICDE 2022):
+// communication-efficient distributed knowledge-graph-embedding training via
+// a hotness-aware per-worker embedding cache.
+//
+// The package is the stable public surface over the internal substrates:
+//
+//   - training systems: HET-KG (CPS/DPS), a DGL-KE-style parameter-server
+//     baseline, and a PyTorch-BigGraph-style block baseline;
+//   - KGE models (TransE, DistMult, TransH, ComplEx) with logistic and
+//     margin-ranking losses, chunked negative sampling, sparse AdaGrad;
+//   - the distributed substrate: a sharded parameter server (in-process and
+//     TCP transports), a METIS-like multilevel graph partitioner, and a
+//     network cost model that meters local vs remote traffic;
+//   - synthetic datasets calibrated to FB15k / WN18 / Freebase-86m plus TSV
+//     loaders for real dumps;
+//   - link-prediction evaluation (MRR, MR, Hits@k; raw/filtered; full or
+//     sampled candidates);
+//   - the experiment registry regenerating every table and figure of the
+//     paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	res, err := hetkg.Run(hetkg.RunConfig{
+//	    Dataset: "fb15k",
+//	    Scale:   hetkg.ScaleTiny,
+//	    System:  hetkg.SystemHETKGD,
+//	})
+//	fmt.Println(res.Final) // MRR, Hits@k, MR
+package hetkg
+
+import (
+	"io"
+	"net"
+
+	"hetkg/internal/ckpt"
+	"hetkg/internal/core"
+	"hetkg/internal/dataset"
+	"hetkg/internal/eval"
+	"hetkg/internal/kg"
+	"hetkg/internal/knn"
+	"hetkg/internal/model"
+	"hetkg/internal/netsim"
+	"hetkg/internal/ps"
+	"hetkg/internal/train"
+	"hetkg/internal/vec"
+)
+
+// RunConfig specifies one training run; see the field docs on core.RunConfig.
+type RunConfig = core.RunConfig
+
+// Result is a completed run: per-epoch stats, final metrics, embeddings,
+// traffic, and the computation/communication breakdown.
+type Result = train.Result
+
+// System identifies a training system implementation.
+type System = core.System
+
+// The four systems of the paper's evaluation.
+const (
+	SystemPBG    = core.SystemPBG
+	SystemDGLKE  = core.SystemDGLKE
+	SystemHETKGC = core.SystemHETKGC
+	SystemHETKGD = core.SystemHETKGD
+)
+
+// Systems lists all systems in the paper's table order.
+func Systems() []System { return core.Systems() }
+
+// Scale selects synthetic dataset sizes.
+type Scale = dataset.Scale
+
+// Scales, smallest to largest. ScalePaper matches the published FB15k/WN18
+// statistics (Freebase-86m stays capped; see DESIGN.md).
+const (
+	ScaleTiny  = dataset.Tiny
+	ScaleSmall = dataset.Small
+	ScalePaper = dataset.Paper
+)
+
+// ParseScale converts "tiny" / "small" / "paper" to a Scale.
+func ParseScale(s string) Scale { return dataset.ParseScale(s) }
+
+// Run executes a training run.
+func Run(rc RunConfig) (*Result, error) { return core.Run(rc) }
+
+// Graph is an immutable knowledge graph.
+type Graph = kg.Graph
+
+// Triple is one (head, relation, tail) fact.
+type Triple = kg.Triple
+
+// EntityID identifies an entity; RelationID identifies a relation.
+type (
+	EntityID   = kg.EntityID
+	RelationID = kg.RelationID
+)
+
+// Vocab maps string labels to dense ids and back (built by ReadTSV).
+type Vocab = kg.Vocab
+
+// Dataset constructors: deterministic synthetic graphs calibrated to the
+// paper's benchmarks.
+var (
+	FB15kLike       = dataset.FB15kLike
+	WN18Like        = dataset.WN18Like
+	Freebase86mLike = dataset.Freebase86mLike
+)
+
+// DatasetByName resolves a preset name ("fb15k", "wn18", "freebase86m").
+func DatasetByName(name string, scale Scale, seed int64) (*Graph, bool) {
+	return dataset.ByName(name, scale, seed)
+}
+
+// DatasetNames lists the preset names.
+func DatasetNames() []string { return dataset.Names() }
+
+// ReadTSV parses "head<TAB>relation<TAB>tail" benchmark files.
+func ReadTSV(r io.Reader, name string) (*Graph, *kg.Vocab, error) {
+	return kg.ReadTSV(r, name)
+}
+
+// Model scores triples; construct with NewModel.
+type Model = model.Model
+
+// NewModel returns "transe", "transe_l2", "distmult", "transh", "complex",
+// "rescal", "hole", or "rotate".
+func NewModel(name string) (Model, error) { return model.New(name) }
+
+// ModelNames lists the model registry.
+func ModelNames() []string { return model.Names() }
+
+// Matrix is a dense row-major embedding table.
+type Matrix = vec.Matrix
+
+// EvalConfig parameterizes link-prediction evaluation.
+type EvalConfig = eval.Config
+
+// EvalResult aggregates MRR, MR and Hits@k.
+type EvalResult = eval.Result
+
+// Evaluate runs link prediction over a test set.
+func Evaluate(cfg EvalConfig, test []Triple) (EvalResult, error) {
+	return eval.Evaluate(cfg, test)
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment = core.Experiment
+
+// ExperimentOptions parameterizes an experiment invocation.
+type ExperimentOptions = core.Options
+
+// ExperimentTable is an experiment's rendered output.
+type ExperimentTable = core.Table
+
+// Experiments returns the full registry, sorted by ID.
+func Experiments() []Experiment { return core.All() }
+
+// ExperimentByID looks up one experiment ("table3", "fig8a", ...).
+func ExperimentByID(id string) (Experiment, bool) { return core.ByID(id) }
+
+// ExperimentIDs lists all registered experiment IDs.
+func ExperimentIDs() []string { return core.IDs() }
+
+// CostModel converts metered traffic into simulated time.
+type CostModel = netsim.CostModel
+
+// Default1Gbps mirrors the paper's 1 Gbps testbed network.
+func Default1Gbps() CostModel { return netsim.Default1Gbps() }
+
+// PSShard is one parameter-server shard (hosted by cmd/hetkg-ps).
+type PSShard = ps.Server
+
+// BuildShard constructs the shard that machine m of the given run owns;
+// serve it with ServeShard. Every process derives identical cluster state
+// from the same RunConfig, so shards need no state transfer at startup.
+func BuildShard(rc RunConfig, machine int) (*PSShard, error) {
+	return core.BuildShard(rc, machine)
+}
+
+// ServeShard runs a shard's accept loop on l until the listener closes.
+func ServeShard(l net.Listener, s *PSShard) { ps.ServeTCP(l, s) }
+
+// Checkpoint is a trained model's persistent state (embeddings + metadata).
+type Checkpoint = ckpt.Checkpoint
+
+// WriteCheckpoint atomically saves a checkpoint to path.
+func WriteCheckpoint(path string, c *Checkpoint) error { return ckpt.WriteFile(path, c) }
+
+// ReadCheckpoint loads a checkpoint from path.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return ckpt.ReadFile(path) }
+
+// KNNIndex is an exact nearest-neighbor index over an embedding table.
+type KNNIndex = knn.Index
+
+// KNNResult is one neighbor (row id + similarity score).
+type KNNResult = knn.Result
+
+// Similarity metrics for NewKNN.
+const (
+	KNNCosine = knn.Cosine
+	KNNDot    = knn.Dot
+	KNNL2     = knn.L2
+)
+
+// NewKNN builds an exact similarity index over an embedding matrix.
+func NewKNN(m *Matrix, metric knn.Metric) (*KNNIndex, error) { return knn.New(m, metric) }

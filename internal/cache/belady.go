@@ -1,0 +1,56 @@
+package cache
+
+import "hetkg/internal/ps"
+
+// Belady computes the hit ratio of Belady's MIN algorithm — the provably
+// optimal replacement policy, which evicts the resident key whose next use
+// lies farthest in the future. It needs the whole access stream up front,
+// so it is an *analysis bound*, not a deployable policy: the gap between a
+// practical policy and Belady is the headroom HET-KG's prefetch lookahead
+// exploits (HET-KG can approach the bound because, unlike LRU/LFU, it
+// really does see the future access stream it prefetched).
+func Belady(capacity int, stream []ps.Key) float64 {
+	if len(stream) == 0 || capacity <= 0 {
+		return 0
+	}
+	// nextUse[i] = index of the next occurrence of stream[i] after i, or
+	// len(stream) if none.
+	next := make([]int, len(stream))
+	last := make(map[ps.Key]int, 1024)
+	for i := len(stream) - 1; i >= 0; i-- {
+		if j, ok := last[stream[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = len(stream)
+		}
+		last[stream[i]] = i
+	}
+	resident := make(map[ps.Key]int, capacity) // key → its next use index
+	hits := 0
+	for i, k := range stream {
+		if _, ok := resident[k]; ok {
+			hits++
+			resident[k] = next[i]
+			continue
+		}
+		if len(resident) < capacity {
+			resident[k] = next[i]
+			continue
+		}
+		// Evict the resident with the farthest next use — unless the
+		// newcomer's own next use is even farther, in which case it is
+		// not worth admitting (the standard MIN bypass).
+		var victim ps.Key
+		farthest := -1
+		for rk, nu := range resident {
+			if nu > farthest {
+				victim, farthest = rk, nu
+			}
+		}
+		if next[i] < farthest {
+			delete(resident, victim)
+			resident[k] = next[i]
+		}
+	}
+	return float64(hits) / float64(len(stream))
+}

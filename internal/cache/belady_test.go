@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetkg/internal/kg"
+	"hetkg/internal/ps"
+)
+
+func keyStream(ids ...int) []ps.Key {
+	out := make([]ps.Key, len(ids))
+	for i, id := range ids {
+		out[i] = ps.EntityKey(kg.EntityID(id))
+	}
+	return out
+}
+
+func TestBeladyKnownSequence(t *testing.T) {
+	// Classic example: capacity 2, stream 1 2 3 1 2. MIN keeps 1 and 2
+	// (bypassing 3, whose next use is never) → hits on the final 1 and 2.
+	stream := keyStream(1, 2, 3, 1, 2)
+	got := Belady(2, stream)
+	if want := 2.0 / 5.0; got != want {
+		t.Errorf("Belady = %v, want %v", got, want)
+	}
+}
+
+func TestBeladyAllHitsWhenEverythingFits(t *testing.T) {
+	stream := keyStream(1, 2, 1, 2, 1, 2)
+	if got := Belady(10, stream); got != 4.0/6.0 {
+		t.Errorf("Belady = %v, want 4/6 (first touch of each key must miss)", got)
+	}
+}
+
+func TestBeladyEdgeCases(t *testing.T) {
+	if Belady(0, keyStream(1, 2)) != 0 {
+		t.Error("capacity 0 should give 0")
+	}
+	if Belady(4, nil) != 0 {
+		t.Error("empty stream should give 0")
+	}
+	if Belady(1, keyStream(1)) != 0 {
+		t.Error("single access can never hit")
+	}
+}
+
+// Belady dominates every online policy on every stream — the defining
+// property. Check against FIFO, LRU and LFU on random Zipf-ish streams.
+func TestBeladyDominatesOnlinePolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 400 + rng.Intn(400)
+		stream := make([]ps.Key, n)
+		for i := range stream {
+			// Squared uniform → skewed toward small ids.
+			v := rng.Intn(40)
+			stream[i] = ps.EntityKey(kg.EntityID(v * v / 40))
+		}
+		capacity := 2 + rng.Intn(10)
+		bound := Belady(capacity, stream)
+		for _, name := range []string{"fifo", "lru", "lfu"} {
+			p, _ := NewPolicy(name, capacity)
+			if got := ReplayHitRatio(p, stream); got > bound+1e-9 {
+				t.Fatalf("trial %d: %s (%.4f) beat Belady (%.4f) at capacity %d",
+					trial, name, got, bound, capacity)
+			}
+		}
+	}
+}
+
+func TestBeladyMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	stream := make([]ps.Key, 600)
+	for i := range stream {
+		stream[i] = ps.EntityKey(kg.EntityID(rng.Intn(30)))
+	}
+	prev := -1.0
+	for _, capacity := range []int{1, 2, 4, 8, 16, 32} {
+		got := Belady(capacity, stream)
+		if got < prev-1e-9 {
+			t.Fatalf("Belady not monotone: capacity %d gives %.4f < %.4f", capacity, got, prev)
+		}
+		prev = got
+	}
+}

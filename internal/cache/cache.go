@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"hetkg/internal/metrics"
+	"hetkg/internal/opt"
+	"hetkg/internal/ps"
+)
+
+// HotCache is one worker's hot-embedding table: a fixed identifier set with
+// locally held values, each stamped with the iteration it was last
+// synchronized against the parameter server.
+//
+// Staleness is bounded PER ROW: a cached row older than the bound P counts
+// as a miss on Get — the worker re-pulls it and re-installs the fresh value
+// via Offer. This realizes the partial-stale guarantee of §IV-C (every
+// embedding used for a gradient is at most P iterations stale) while paying
+// refresh traffic only for rows that are actually used, which is what makes
+// the cache a net win on large graphs — and it is the semantics under which
+// the paper's Fig. 8(b) observation ("hit ratio improves as staleness
+// increases") holds: a tighter bound turns more reads into refresh misses.
+//
+// Gradients are applied to the local copy on Update *and* pushed to the PS
+// by the trainer, so the PS remains the source of truth; staleness only
+// reflects missed updates from other workers.
+//
+// HotCache is confined to its owning worker goroutine; only the hit-ratio
+// counters are read concurrently.
+type HotCache struct {
+	client *ps.Client
+	optim  opt.Optimizer
+	rows   map[ps.Key]*hotRow
+	hits   metrics.Ratio
+	// staleBound is P; 0 means unbounded (cached rows never expire).
+	staleBound int
+	// refreshed counts rows pulled by Build/Refresh (table construction
+	// traffic; per-row refresh misses flow through the normal pull path).
+	refreshed metrics.Counter
+}
+
+type hotRow struct {
+	vals     []float32
+	lastSync int
+}
+
+// New builds an empty cache for a worker. localOpt is the optimizer applied
+// to cached copies on Update (the paper's workers mirror the server-side
+// AdaGrad); staleBound is P (0 = unbounded staleness).
+func New(client *ps.Client, localOpt opt.Optimizer, staleBound int) (*HotCache, error) {
+	if client == nil {
+		return nil, fmt.Errorf("cache: nil ps client")
+	}
+	if localOpt == nil {
+		return nil, fmt.Errorf("cache: nil local optimizer")
+	}
+	if staleBound < 0 {
+		return nil, fmt.Errorf("cache: negative staleBound %d", staleBound)
+	}
+	return &HotCache{
+		client:     client,
+		optim:      localOpt,
+		rows:       make(map[ps.Key]*hotRow),
+		staleBound: staleBound,
+	}, nil
+}
+
+// Build replaces the identifier table with keys and pulls their current
+// values from the parameter server (the tail of Algorithm 2), stamping them
+// with the given iteration. The local optimizer state survives rebuilds —
+// it is keyed by embedding id, and a DPS worker keeps pushing gradients for
+// the same hot rows across table generations.
+func (h *HotCache) Build(keys []ps.Key, iteration int) error {
+	fresh := make(map[ps.Key][]float32, len(keys))
+	if len(keys) > 0 {
+		sorted := make([]ps.Key, len(keys))
+		copy(sorted, keys)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if err := h.client.Pull(sorted, fresh); err != nil {
+			return fmt.Errorf("cache: building hot-embedding table: %w", err)
+		}
+		h.refreshed.Add(int64(len(sorted)))
+	}
+	rows := make(map[ps.Key]*hotRow, len(fresh))
+	for k, v := range fresh {
+		rows[k] = &hotRow{vals: v, lastSync: iteration}
+	}
+	h.rows = rows
+	return nil
+}
+
+// Len returns the number of cached rows.
+func (h *HotCache) Len() int { return len(h.rows) }
+
+// Contains reports whether k is in the identifier table (fresh or stale).
+func (h *HotCache) Contains(k ps.Key) bool {
+	_, ok := h.rows[k]
+	return ok
+}
+
+// Get returns the cached row for k if it is present and within the
+// staleness bound at the given iteration, recording a hit or miss. A stale
+// row is a miss: the caller pulls the fresh value and hands it back through
+// Offer. The returned slice is the live local copy.
+func (h *HotCache) Get(k ps.Key, iteration int) ([]float32, bool) {
+	row, ok := h.rows[k]
+	if !ok || h.stale(row, iteration) {
+		h.hits.Miss()
+		return nil, false
+	}
+	h.hits.Hit()
+	return row.vals, true
+}
+
+func (h *HotCache) stale(row *hotRow, iteration int) bool {
+	return h.staleBound > 0 && iteration-row.lastSync >= h.staleBound
+}
+
+// Offer installs a freshly pulled value for k if k belongs to the
+// identifier table, resetting its staleness clock. Values for keys outside
+// the table are ignored (they are not hot). The cache adopts the slice.
+func (h *HotCache) Offer(k ps.Key, vals []float32, iteration int) {
+	row, ok := h.rows[k]
+	if !ok {
+		return
+	}
+	row.vals = vals
+	row.lastSync = iteration
+}
+
+// Peek returns the cached row regardless of freshness, without touching the
+// hit-ratio counters (diagnostics and tests).
+func (h *HotCache) Peek(k ps.Key) ([]float32, bool) {
+	row, ok := h.rows[k]
+	if !ok {
+		return nil, false
+	}
+	return row.vals, true
+}
+
+// Update applies a gradient to the cached copy of k (workflow step 4:
+// "update the corresponding gradients to the involved hot-embeddings").
+// Unknown keys are ignored — the gradient still reaches the PS through the
+// trainer's push.
+func (h *HotCache) Update(k ps.Key, grad []float32) {
+	row, ok := h.rows[k]
+	if !ok {
+		return
+	}
+	h.optim.Apply(uint64(k), row.vals, grad)
+}
+
+// Refresh re-pulls every cached key's latest value from the parameter
+// server and stamps it with the given iteration — the bulk variant of the
+// synchronization step, used after barriers and by diagnostics.
+func (h *HotCache) Refresh(iteration int) error {
+	if len(h.rows) == 0 {
+		return nil
+	}
+	keys := make([]ps.Key, 0, len(h.rows))
+	for k := range h.rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fresh := make(map[ps.Key][]float32, len(keys))
+	if err := h.client.Pull(keys, fresh); err != nil {
+		return fmt.Errorf("cache: refreshing hot-embedding table: %w", err)
+	}
+	h.refreshed.Add(int64(len(keys)))
+	for k, v := range fresh {
+		h.rows[k] = &hotRow{vals: v, lastSync: iteration}
+	}
+	return nil
+}
+
+// RefreshedRows returns the total rows pulled by Build and Refresh over the
+// cache's lifetime (table-construction traffic; per-row staleness refreshes
+// travel through the worker's ordinary pulls instead).
+func (h *HotCache) RefreshedRows() int64 { return h.refreshed.Value() }
+
+// HitRatio returns the cache hit ratio since the last ResetStats. Under
+// per-row staleness this is also the local-service ratio: every miss —
+// cold or stale — costs one parameter-server pull.
+func (h *HotCache) HitRatio() float64 { return h.hits.Value() }
+
+// Accesses returns the total number of Get calls since the last ResetStats.
+func (h *HotCache) Accesses() int64 { return h.hits.Total.Value() }
+
+// ResetStats clears the hit-ratio counters (values stay cached).
+func (h *HotCache) ResetStats() { h.hits.Reset() }

@@ -1,0 +1,147 @@
+// Package ckpt serializes trained embedding checkpoints: a self-describing
+// header (model, dimension, dataset provenance) followed by the entity and
+// relation matrices in the vec binary format. Checkpoints let a training
+// run's output feed the evaluation tool, downstream applications, or a
+// resumed run without retraining.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hetkg/internal/vec"
+)
+
+// magic identifies checkpoint files and versions the format.
+const magic = "HETKG-CKPT-v1\n"
+
+// Checkpoint is a trained model's persistent state.
+type Checkpoint struct {
+	// ModelName is the model registry name the embeddings were trained
+	// with ("transe", ...). Scoring requires the same model.
+	ModelName string `json:"model"`
+	// Dim is the base embedding dimension d.
+	Dim int `json:"dim"`
+	// Dataset and Seed record provenance.
+	Dataset string `json:"dataset"`
+	Seed    int64  `json:"seed"`
+	// Epochs is how many epochs produced these embeddings.
+	Epochs int `json:"epochs"`
+	// System is which trainer produced them ("HET-KG-D", ...).
+	System string `json:"system"`
+
+	// Entities and Relations are the embedding tables (not serialized in
+	// the JSON header; they follow it in binary form).
+	Entities  *vec.Matrix `json:"-"`
+	Relations *vec.Matrix `json:"-"`
+}
+
+// Validate reports whether the checkpoint is writable.
+func (c *Checkpoint) Validate() error {
+	if c.Entities == nil || c.Relations == nil {
+		return fmt.Errorf("ckpt: missing embedding tables")
+	}
+	if c.ModelName == "" {
+		return fmt.Errorf("ckpt: missing model name")
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("ckpt: non-positive dim %d", c.Dim)
+	}
+	return nil
+}
+
+// Write serializes the checkpoint.
+func Write(w io.Writer, c *Checkpoint) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return fmt.Errorf("ckpt: writing magic: %w", err)
+	}
+	hdr, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("ckpt: encoding header: %w", err)
+	}
+	hdr = append(hdr, '\n')
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("ckpt: writing header: %w", err)
+	}
+	if _, err := c.Entities.WriteTo(bw); err != nil {
+		return fmt.Errorf("ckpt: writing entities: %w", err)
+	}
+	if _, err := c.Relations.WriteTo(bw); err != nil {
+		return fmt.Errorf("ckpt: writing relations: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a checkpoint written by Write.
+func Read(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("ckpt: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("ckpt: not a checkpoint file (magic %q)", string(got))
+	}
+	hdr, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading header: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(hdr, &c); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding header: %w", err)
+	}
+	if c.Entities, err = vec.ReadMatrix(br); err != nil {
+		return nil, fmt.Errorf("ckpt: reading entities: %w", err)
+	}
+	if c.Relations, err = vec.ReadMatrix(br); err != nil {
+		return nil, fmt.Errorf("ckpt: reading relations: %w", err)
+	}
+	return &c, nil
+}
+
+// WriteFile writes the checkpoint to path (atomically via a temp file in
+// the same directory, so a crash never leaves a torn checkpoint).
+func WriteFile(path string, c *Checkpoint) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a checkpoint from path.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,365 @@
+// Package core ties the substrates together: it turns a high-level run
+// specification (dataset, system, model, scale) into a configured training
+// run, and hosts the experiment registry that regenerates every table and
+// figure of the HET-KG paper (see DESIGN.md §4 for the index).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hetkg/internal/cache"
+	"hetkg/internal/ckpt"
+	"hetkg/internal/dataset"
+	"hetkg/internal/kg"
+	"hetkg/internal/model"
+	"hetkg/internal/netsim"
+	"hetkg/internal/opt"
+	"hetkg/internal/partition"
+	"hetkg/internal/ps"
+	"hetkg/internal/sampler"
+	"hetkg/internal/train"
+	"hetkg/internal/vec"
+)
+
+// System names a training system implementation.
+type System string
+
+// The four systems of the paper's evaluation.
+const (
+	SystemPBG    System = "PBG"
+	SystemDGLKE  System = "DGL-KE"
+	SystemHETKGC System = "HET-KG-C"
+	SystemHETKGD System = "HET-KG-D"
+)
+
+// Systems lists all systems in the paper's table order.
+func Systems() []System {
+	return []System{SystemPBG, SystemDGLKE, SystemHETKGC, SystemHETKGD}
+}
+
+// RunConfig is the high-level specification of one training run.
+type RunConfig struct {
+	// Graph, when non-nil, trains on this user-supplied knowledge graph
+	// (e.g. loaded with kg.ReadTSV) instead of a preset.
+	Graph *kg.Graph
+	// Dataset is a preset name: "fb15k", "wn18", or "freebase86m".
+	// Ignored when Graph is set.
+	Dataset string
+	// Scale selects the synthetic dataset size (tiny/small/paper).
+	Scale dataset.Scale
+	// System selects the trainer.
+	System System
+	// ModelName is a model registry name ("transe", "distmult", ...).
+	ModelName string
+	// LossName is "logistic" (default) or "ranking".
+	LossName string
+	// OptimizerName is "adagrad" (default, the paper's), "sgd", or "adam".
+	OptimizerName string
+	// Margin is the ranking-loss margin.
+	Margin float32
+
+	// Dim, LR, Epochs, BatchSize, NegPerPos, ChunkSize override the
+	// scale-derived defaults when non-zero.
+	Dim       int
+	LR        float32
+	Epochs    int
+	BatchSize int
+	NegPerPos int
+	ChunkSize int
+
+	// Machines is the cluster size (default 4, the paper's testbed).
+	Machines int
+	// WorkersPerMachine defaults to 1.
+	WorkersPerMachine int
+	// PartitionerName is "metis" (default) or "random".
+	PartitionerName string
+	// CostModel defaults to the paper's 1 Gbps network.
+	CostModel netsim.CostModel
+
+	// CacheCapacity is the hot-embedding table size (default: 5% of the
+	// entity+relation universe). CacheSyncEvery is P (default 8);
+	// CachePrefetchD is D (default 16); EntityFraction defaults to 0.25.
+	CacheCapacity    int
+	CacheSyncEvery   int
+	CachePrefetchD   int
+	EntityFraction   float64
+	NoHeterogeneity  bool // HET-KG-N of Table VII
+	DisableCacheSync bool // force unbounded staleness
+	// Quantize8Bit compresses wire payloads to 8 bits (extension).
+	Quantize8Bit bool
+	// AdversarialTemp enables self-adversarial negative weighting
+	// (extension; 0 = the paper's uniform weighting).
+	AdversarialTemp float32
+	// InverseRelations augments the training split with reciprocal
+	// relations (standard KGE preprocessing; doubles the relation table).
+	InverseRelations bool
+	// DegreeWeightedNegatives corrupts with entities drawn ∝ degree^0.75
+	// (word2vec-style hard negatives) instead of uniformly (extension).
+	DegreeWeightedNegatives bool
+	// Resume, when non-nil, initializes the parameter server from a saved
+	// checkpoint's embeddings instead of random values (continue training;
+	// not supported together with ShardAddrs — shard processes derive
+	// state independently). The checkpoint's model must match ModelName.
+	Resume *ckpt.Checkpoint
+	// LocalMachines restricts this process to the listed machines' workers
+	// (multi-process worker deployment; empty = all machines).
+	LocalMachines []int
+	// ShardAddrs, when non-empty, connects to remote parameter-server
+	// shards (one cmd/hetkg-ps process per machine, in machine order) over
+	// TCP instead of hosting the shards in this process. Must have exactly
+	// Machines entries.
+	ShardAddrs []string
+
+	// EvalEvery/EvalCandidates/EvalMax control validation scoring.
+	EvalEvery      int
+	EvalCandidates int
+	EvalMax        int
+
+	Seed int64
+}
+
+// defaults fills scale-appropriate values for everything left zero.
+func (rc *RunConfig) defaults() {
+	if rc.Dataset == "" {
+		rc.Dataset = "fb15k"
+	}
+	if rc.ModelName == "" {
+		rc.ModelName = "transe"
+	}
+	if rc.LossName == "" {
+		rc.LossName = "logistic"
+	}
+	if rc.Machines == 0 {
+		rc.Machines = 4
+	}
+	if rc.PartitionerName == "" {
+		rc.PartitionerName = "metis"
+	}
+	if rc.Dim == 0 {
+		switch rc.Scale {
+		case dataset.Tiny:
+			rc.Dim = 16
+		case dataset.Paper:
+			rc.Dim = 400 // the paper's hyperparameter table
+		default:
+			rc.Dim = 64
+		}
+	}
+	if rc.LR == 0 {
+		rc.LR = 0.1 // paper: ℓ = 0.1
+	}
+	if rc.Epochs == 0 {
+		switch rc.Scale {
+		case dataset.Tiny:
+			rc.Epochs = 3
+		default:
+			rc.Epochs = 5
+		}
+	}
+	if rc.BatchSize == 0 {
+		switch rc.Scale {
+		case dataset.Tiny:
+			rc.BatchSize = 32 // paper: b = 32 on FB15k/WN18
+		default:
+			rc.BatchSize = 128
+		}
+	}
+	if rc.NegPerPos == 0 {
+		rc.NegPerPos = 8 // paper: b_n = 8
+	}
+	if rc.ChunkSize == 0 {
+		rc.ChunkSize = 8
+	}
+	if rc.CostModel == (netsim.CostModel{}) {
+		rc.CostModel = netsim.Default1Gbps()
+	}
+	if rc.EvalEvery == 0 {
+		rc.EvalEvery = 1
+	}
+	if rc.EvalCandidates == 0 {
+		rc.EvalCandidates = 100
+	}
+	if rc.EvalMax == 0 {
+		rc.EvalMax = 300
+	}
+	if rc.CacheSyncEvery == 0 {
+		rc.CacheSyncEvery = 8 // the knee of Fig. 8(b)
+	}
+	if rc.CachePrefetchD == 0 {
+		rc.CachePrefetchD = 16
+	}
+	if rc.EntityFraction == 0 {
+		rc.EntityFraction = 0.25 // the optimum of Fig. 8(c)
+	}
+	if rc.DisableCacheSync {
+		rc.CacheSyncEvery = 0
+	}
+}
+
+// Run executes the specified training run and returns its result.
+func Run(rc RunConfig) (*train.Result, error) {
+	rc.defaults()
+	g := rc.Graph
+	if g == nil {
+		var ok bool
+		g, ok = dataset.ByName(rc.Dataset, rc.Scale, rc.Seed)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown dataset %q (have %v)", rc.Dataset, dataset.Names())
+		}
+	}
+	// Freebase-86m uses 90/5/5 in the paper; the standard benchmarks keep
+	// small validation/test tails at our scales.
+	sp, err := kg.SplitTriples(g, rand.New(rand.NewSource(rc.Seed+17)), 0.05, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	if rc.InverseRelations {
+		sp.Train = kg.AddInverses(sp.Train)
+	}
+	mdl, err := model.New(rc.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	loss, err := model.NewLoss(rc.LossName, rc.Margin)
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.New(rc.PartitionerName, rc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var newOpt func() opt.Optimizer
+	if rc.OptimizerName != "" && rc.OptimizerName != "adagrad" {
+		name, lr := rc.OptimizerName, rc.LR
+		if _, err := opt.New(name, lr); err != nil {
+			return nil, err
+		}
+		newOpt = func() opt.Optimizer {
+			o, _ := opt.New(name, lr)
+			return o
+		}
+	}
+	if rc.CacheCapacity == 0 {
+		rc.CacheCapacity = (g.NumEntity + g.NumRel) / 20
+	}
+
+	if rc.Resume != nil {
+		if len(rc.ShardAddrs) > 0 {
+			return nil, fmt.Errorf("core: Resume is not supported with remote shards")
+		}
+		if rc.Resume.ModelName != rc.ModelName {
+			return nil, fmt.Errorf("core: checkpoint trained with %q, run requests %q",
+				rc.Resume.ModelName, rc.ModelName)
+		}
+	}
+
+	tc := train.Config{
+		Graph:             sp.Train,
+		Valid:             sp.Valid.Triples,
+		Filter:            sp.AllTriples(),
+		Model:             mdl,
+		Loss:              loss,
+		Dim:               rc.Dim,
+		LR:                rc.LR,
+		Epochs:            rc.Epochs,
+		BatchSize:         rc.BatchSize,
+		NegPerPos:         rc.NegPerPos,
+		ChunkSize:         rc.ChunkSize,
+		NumMachines:       rc.Machines,
+		WorkersPerMachine: rc.WorkersPerMachine,
+		LocalMachines:     rc.LocalMachines,
+		Partitioner:       part,
+		CostModel:         rc.CostModel,
+		EvalEvery:         rc.EvalEvery,
+		EvalCandidates:    rc.EvalCandidates,
+		EvalMax:           rc.EvalMax,
+		Seed:              rc.Seed,
+		NewOptimizer:      newOpt,
+		Quantize8Bit:      rc.Quantize8Bit,
+		NegativeWeights:   negWeights(rc.DegreeWeightedNegatives, sp.Train),
+		InitialEntities:   resumeEntities(rc.Resume),
+		InitialRelations:  resumeRelations(rc.Resume),
+		AdversarialTemp:   rc.AdversarialTemp,
+		Cache: train.CacheConfig{
+			Capacity:       rc.CacheCapacity,
+			EntityFraction: rc.EntityFraction,
+			Heterogeneity:  !rc.NoHeterogeneity,
+			SyncEvery:      rc.CacheSyncEvery,
+			PrefetchD:      rc.CachePrefetchD,
+		},
+	}
+	if len(rc.ShardAddrs) > 0 {
+		if len(rc.ShardAddrs) != rc.Machines {
+			return nil, fmt.Errorf("core: %d shard addresses for %d machines", len(rc.ShardAddrs), rc.Machines)
+		}
+		addrs := rc.ShardAddrs
+		tc.NewTransport = func(*ps.Cluster) (ps.Transport, error) {
+			return ps.DialTCP(addrs)
+		}
+	}
+	switch rc.System {
+	case SystemPBG:
+		return train.TrainPBG(tc)
+	case SystemDGLKE:
+		return train.TrainDGLKE(tc)
+	case SystemHETKGC:
+		tc.Cache.Strategy = cache.CPS
+		return train.TrainHETKG(tc)
+	case SystemHETKGD:
+		tc.Cache.Strategy = cache.DPS
+		return train.TrainHETKG(tc)
+	default:
+		return nil, fmt.Errorf("core: unknown system %q", rc.System)
+	}
+}
+
+// Options parameterizes an experiment invocation.
+type Options struct {
+	// Scale selects workload sizes (default Small; benches use Tiny).
+	Scale dataset.Scale
+	// Seed drives all randomness (default 42).
+	Seed int64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// fmtDur renders a duration with millisecond precision for tables.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+func resumeEntities(c *ckpt.Checkpoint) *vec.Matrix {
+	if c == nil {
+		return nil
+	}
+	return c.Entities
+}
+
+func resumeRelations(c *ckpt.Checkpoint) *vec.Matrix {
+	if c == nil {
+		return nil
+	}
+	return c.Relations
+}
+
+// negWeights builds deg^0.75 corruption weights when requested.
+func negWeights(enabled bool, g *kg.Graph) []float64 {
+	if !enabled {
+		return nil
+	}
+	return sampler.DegreeWeights(g.EntityDegrees())
+}

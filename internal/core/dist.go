@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+
+	"hetkg/internal/dataset"
+	"hetkg/internal/kg"
+	"hetkg/internal/model"
+	"hetkg/internal/opt"
+	"hetkg/internal/partition"
+	"hetkg/internal/ps"
+)
+
+// Multi-process deployment: every process — the trainer and each
+// cmd/hetkg-ps shard — derives the identical cluster state from the same
+// RunConfig, because dataset generation, the train/valid/test split, the
+// graph partition, and per-key embedding initialization are all pure
+// functions of the config's seeds. A shard process therefore needs no state
+// transfer at startup: it computes its own rows and starts serving.
+
+// clusterSpec derives the parameter-server cluster configuration a
+// RunConfig implies (after the same preprocessing Run performs).
+func clusterSpec(rc RunConfig) (ps.ClusterConfig, error) {
+	rc.defaults()
+	g := rc.Graph
+	if g == nil {
+		var ok bool
+		g, ok = dataset.ByName(rc.Dataset, rc.Scale, rc.Seed)
+		if !ok {
+			return ps.ClusterConfig{}, fmt.Errorf("core: unknown dataset %q", rc.Dataset)
+		}
+	}
+	sp, err := kg.SplitTriples(g, rand.New(rand.NewSource(rc.Seed+17)), 0.05, 0.05)
+	if err != nil {
+		return ps.ClusterConfig{}, err
+	}
+	if rc.InverseRelations {
+		sp.Train = kg.AddInverses(sp.Train)
+	}
+	mdl, err := model.New(rc.ModelName)
+	if err != nil {
+		return ps.ClusterConfig{}, err
+	}
+	part, err := partition.New(rc.PartitionerName, rc.Seed)
+	if err != nil {
+		return ps.ClusterConfig{}, err
+	}
+	pr, err := part.Partition(sp.Train, rc.Machines)
+	if err != nil {
+		return ps.ClusterConfig{}, err
+	}
+	lr := rc.LR
+	name := rc.OptimizerName
+	if name == "" {
+		name = "adagrad"
+	}
+	if _, err := opt.New(name, lr); err != nil {
+		return ps.ClusterConfig{}, err
+	}
+	return ps.ClusterConfig{
+		NumMachines:  rc.Machines,
+		EntityPart:   pr.EntityPart,
+		NumRelations: g.NumRel,
+		EntityDim:    mdl.EntityDim(rc.Dim),
+		RelationDim:  mdl.RelationDim(rc.Dim),
+		NewOptimizer: func() opt.Optimizer {
+			o, _ := opt.New(name, lr)
+			return o
+		},
+		Seed: rc.Seed,
+	}, nil
+}
+
+// serveShard runs a shard's accept loop (mirrors cmd/hetkg-ps's serving).
+func serveShard(l net.Listener, s *ps.Server) { ps.ServeTCP(l, s) }
+
+// BuildShard constructs the single parameter-server shard that machine m of
+// the given run owns — what a cmd/hetkg-ps process hosts.
+func BuildShard(rc RunConfig, machine int) (*ps.Server, error) {
+	spec, err := clusterSpec(rc)
+	if err != nil {
+		return nil, err
+	}
+	return ps.NewClusterShard(spec, machine)
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetkg/internal/dataset"
+	"hetkg/internal/netsim"
+	"hetkg/internal/partition"
+	"hetkg/internal/sampler"
+)
+
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out: the METIS-like partitioner vs random placement, and chunked vs
+// independent negative sampling (the §V complexity claim).
+
+func init() {
+	register(Experiment{
+		ID:    "xablation-partition",
+		Title: "Ablation: METIS-like vs random partitioning (remote traffic, comm time)",
+		Run:   runAblationPartition,
+	})
+	register(Experiment{
+		ID:    "xablation-negsampling",
+		Title: "Ablation: chunked vs independent negative sampling (distinct rows per batch)",
+		Run:   runAblationNegSampling,
+	})
+	register(Experiment{
+		ID:    "xablation-quantize",
+		Title: "Extension: 8-bit wire quantization stacked on HET-KG (bytes, time, MRR)",
+		Run:   runAblationQuantize,
+	})
+	register(Experiment{
+		ID:    "xablation-adversarial",
+		Title: "Extension: self-adversarial negative weighting vs uniform (MRR)",
+		Run:   runAblationAdversarial,
+	})
+	register(Experiment{
+		ID:    "xablation-bandwidth",
+		Title: "Sensitivity: HET-KG's advantage over DGL-KE vs network bandwidth (§II claim)",
+		Run:   runAblationBandwidth,
+	})
+	register(Experiment{
+		ID:    "xablation-hardnegs",
+		Title: "Extension: degree-weighted (deg^0.75) vs uniform negative corruption",
+		Run:   runAblationHardNegs,
+	})
+	register(Experiment{
+		ID:    "xtheory-staleness",
+		Title: "§IV-C check: bounded staleness converges; unbounded staleness degrades",
+		Run:   runTheoryStaleness,
+	})
+	register(Experiment{
+		ID:    "xablation-strategy",
+		Title: "Ablation: CPS vs DPS hit ratio across cache sizes",
+		Run:   runAblationStrategy,
+	})
+}
+
+func runAblationPartition(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-partition",
+		Title:  "DGL-KE on fb15k-like, 4 machines: partitioner effect",
+		Header: []string{"Partitioner", "EdgeCutFrac", "RemoteBytes", "Comm", "Total"},
+	}
+	g, _ := dataset.ByName("fb15k", o.Scale, o.Seed)
+	for _, pname := range []string{"metis", "ldg", "random"} {
+		o.logf("xablation-partition: %s ...", pname)
+		p, err := partition.New(pname, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := p.Partition(g, 4)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(RunConfig{
+			Dataset:         "fb15k",
+			Scale:           o.Scale,
+			System:          SystemDGLKE,
+			ModelName:       "transe",
+			PartitionerName: pname,
+			Epochs:          1,
+			EvalEvery:       -1,
+			Seed:            o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xablation-partition (%s): %w", pname, err)
+		}
+		t.AddRow(pname, pr.CutFraction(g), res.Traffic.RemoteBytes,
+			fmtDur(res.Comm), fmtDur(res.Total()))
+	}
+	t.Note("expected: the min-cut partitioner lowers the edge cut and with it remote pull volume")
+	return t, nil
+}
+
+func runAblationNegSampling(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-negsampling",
+		Title:  "Distinct embedding rows pulled per batch: independent vs chunked corruption",
+		Header: []string{"Mode", "b_p", "b_n", "b_c", "AvgDistinctRows"},
+	}
+	g, _ := dataset.ByName("fb15k", o.Scale, o.Seed)
+	cases := []struct {
+		name  string
+		chunk int
+	}{
+		{"independent", 1},
+		{"chunked", 16},
+	}
+	for _, c := range cases {
+		smp, err := sampler.New(sampler.Config{
+			BatchSize: 128, NegPerPos: 16, ChunkSize: c.chunk, NumEntity: g.NumEntity,
+		}, g, rand.New(rand.NewSource(o.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		totalRows := 0
+		const batches = 30
+		for i := 0; i < batches; i++ {
+			b := smp.Next()
+			ents, rels := b.DistinctIDs()
+			totalRows += len(ents) + len(rels)
+		}
+		t.AddRow(c.name, 128, 16, c.chunk, fmt.Sprintf("%.1f", float64(totalRows)/batches))
+	}
+	t.Note("§V: chunking reduces sampling/pull complexity from O(b_p·d·(b_n+1)) to O(b_p·d + b_p·k·d/b_c)")
+	return t, nil
+}
+
+func runAblationStrategy(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-strategy",
+		Title:  "CPS vs DPS hit ratio across cache sizes (fb15k-like)",
+		Header: []string{"CacheSize(%ids)", "CPS hit", "DPS hit"},
+	}
+	g, _ := dataset.ByName("fb15k", o.Scale, o.Seed)
+	universe := g.NumEntity + g.NumRel
+	for _, pct := range []float64{1, 5, 15} {
+		capacity := int(float64(universe) * pct / 100)
+		if capacity < 1 {
+			capacity = 1
+		}
+		row := []string{fmt.Sprintf("%.0f%%", pct)}
+		for _, sys := range []System{SystemHETKGC, SystemHETKGD} {
+			o.logf("xablation-strategy: %.0f%% / %s ...", pct, sys)
+			res, err := Run(RunConfig{
+				Dataset:       "fb15k",
+				Scale:         o.Scale,
+				System:        sys,
+				ModelName:     "transe",
+				Epochs:        2,
+				EvalEvery:     -1,
+				CacheCapacity: capacity,
+				Seed:          o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("xablation-strategy: %w", err)
+			}
+			row = append(row, fmt.Sprintf("%.1f%%", 100*res.HitRatio))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Note("§IV-B: DPS tracks the short-term access pattern, matching or beating CPS under tight capacity")
+	return t, nil
+}
+
+func runAblationQuantize(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-quantize",
+		Title:  "HET-KG-C on fb15k-like, 4 machines: float32 vs int8 payloads",
+		Header: []string{"Wire", "RemoteBytes", "Comm", "MRR"},
+	}
+	for _, quant := range []bool{false, true} {
+		name := "float32"
+		if quant {
+			name = "int8"
+		}
+		o.logf("xablation-quantize: %s ...", name)
+		res, err := Run(RunConfig{
+			Dataset:      "fb15k",
+			Scale:        o.Scale,
+			System:       SystemHETKGC,
+			ModelName:    "transe",
+			Epochs:       2,
+			Quantize8Bit: quant,
+			Seed:         o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xablation-quantize (%s): %w", name, err)
+		}
+		t.AddRow(name, res.Traffic.RemoteBytes, fmtDur(res.Comm), res.Final.MRR)
+	}
+	t.Note("expected: ~4x fewer payload bytes; quantization noise costs little MRR at 8 bits")
+	return t, nil
+}
+
+func runAblationAdversarial(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-adversarial",
+		Title:  "HET-KG-D on fb15k-like: negative-sample weighting",
+		Header: []string{"Weighting", "MRR", "Hits@10", "FinalLoss"},
+	}
+	for _, temp := range []float32{0, 1} {
+		name := "uniform"
+		if temp > 0 {
+			name = "self-adversarial(α=1)"
+		}
+		o.logf("xablation-adversarial: %s ...", name)
+		res, err := Run(RunConfig{
+			Dataset:         "fb15k",
+			Scale:           o.Scale,
+			System:          SystemHETKGD,
+			ModelName:       "transe",
+			Epochs:          3,
+			AdversarialTemp: temp,
+			Seed:            o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xablation-adversarial (%s): %w", name, err)
+		}
+		t.AddRow(name, res.Final.MRR, res.Final.Hits[10],
+			fmt.Sprintf("%.4f", res.Epochs[len(res.Epochs)-1].Loss))
+	}
+	t.Note("extension beyond the paper: focusing gradient mass on hard negatives (RotatE-style)")
+	return t, nil
+}
+
+// runTheoryStaleness checks the convergence analysis of §IV-C empirically:
+// with the staleness bound P in force, partial-stale training converges like
+// the synchronous baseline; with the bound removed (no refresh, ever),
+// cached replicas drift without limit and final quality suffers. This is
+// the empirical counterpart of the bounded-delay assumption (4) in the
+// paper's proof sketch.
+func runTheoryStaleness(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xtheory-staleness",
+		Title:  "HET-KG-C on fb15k-like: bounded (P=8) vs unbounded staleness",
+		Header: []string{"Staleness", "Epoch", "Loss", "MRR"},
+	}
+	cases := []struct {
+		name      string
+		unbounded bool
+	}{
+		{"bounded(P=8)", false},
+		{"unbounded", true},
+	}
+	for _, c := range cases {
+		o.logf("xtheory-staleness: %s ...", c.name)
+		res, err := Run(RunConfig{
+			Dataset:          "fb15k",
+			Scale:            o.Scale,
+			System:           SystemHETKGC,
+			ModelName:        "transe",
+			Epochs:           fig5Epochs(o),
+			DisableCacheSync: c.unbounded,
+			Seed:             o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xtheory-staleness (%s): %w", c.name, err)
+		}
+		for _, e := range res.Epochs {
+			t.AddRow(c.name, e.Epoch, fmt.Sprintf("%.4f", e.Loss), e.MRR)
+		}
+	}
+	t.Note("§IV-C: with T > O(K²) iterations and staleness bounded by K, convergence matches synchronous training;")
+	t.Note("removing the bound violates assumption (4) of the proof sketch and the gap shows up in loss and MRR")
+	return t, nil
+}
+
+// runAblationBandwidth sweeps the inter-machine bandwidth and compares
+// DGL-KE and HET-KG epoch time. §II argues communication cost "will become
+// expensive ... especially in a low bandwidth network environment" — so the
+// cache's relative advantage should grow as the link slows.
+func runAblationBandwidth(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-bandwidth",
+		Title:  "Epoch time vs link bandwidth (TransE, freebase86m-like, 4 machines)",
+		Header: []string{"Bandwidth", "DGL-KE comm", "HET-KG-C comm", "Comm saving"},
+	}
+	for _, mbps := range []float64{100, 1000, 10000} {
+		cm := netsim.Default1Gbps()
+		cm.RemoteBandwidthBps = mbps * 1e6 / 8
+		// Compare the communication component only: it is computed
+		// deterministically from metered bytes, so the comparison is free
+		// of wall-clock jitter in the measured computation.
+		var comms [2]float64
+		for i, sys := range []System{SystemDGLKE, SystemHETKGC} {
+			o.logf("xablation-bandwidth: %.0f Mbps / %s ...", mbps, sys)
+			res, err := Run(RunConfig{
+				Dataset:   "freebase86m",
+				Scale:     o.Scale,
+				System:    sys,
+				ModelName: "transe",
+				Dim:       commDim(o),
+				BatchSize: commBatch(o),
+				Epochs:    1,
+				EvalEvery: -1,
+				CostModel: cm,
+				Seed:      o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("xablation-bandwidth (%.0f, %s): %w", mbps, sys, err)
+			}
+			comms[i] = res.Comm.Seconds()
+		}
+		adv := 0.0
+		if comms[0] > 0 {
+			adv = (comms[0] - comms[1]) / comms[0] * 100
+		}
+		t.AddRow(fmt.Sprintf("%.0f Mbps", mbps),
+			fmt.Sprintf("%.3fs", comms[0]),
+			fmt.Sprintf("%.3fs", comms[1]),
+			fmt.Sprintf("%+.1f%%", adv))
+	}
+	t.Note("§II: the cache's byte saving is a fixed fraction; its absolute time value grows as the link slows")
+	return t, nil
+}
+
+func runAblationHardNegs(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "xablation-hardnegs",
+		Title:  "HET-KG-C on fb15k-like: negative corruption distribution",
+		Header: []string{"Corruption", "MRR", "Hits@10", "FinalLoss"},
+	}
+	for _, weighted := range []bool{false, true} {
+		name := "uniform"
+		if weighted {
+			name = "degree^0.75"
+		}
+		o.logf("xablation-hardnegs: %s ...", name)
+		res, err := Run(RunConfig{
+			Dataset:                 "fb15k",
+			Scale:                   o.Scale,
+			System:                  SystemHETKGC,
+			ModelName:               "transe",
+			Epochs:                  3,
+			DegreeWeightedNegatives: weighted,
+			Seed:                    o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xablation-hardnegs (%s): %w", name, err)
+		}
+		t.AddRow(name, res.Final.MRR, res.Final.Hits[10],
+			fmt.Sprintf("%.4f", res.Epochs[len(res.Epochs)-1].Loss))
+	}
+	t.Note("extension: corrupting with high-degree entities yields harder negatives on skewed graphs")
+	return t, nil
+}

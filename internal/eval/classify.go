@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hetkg/internal/kg"
+)
+
+// Triple classification (Socher et al., Wang et al.): decide whether a
+// triple is true or false by thresholding its score, with one threshold per
+// relation learned on a validation set. It is the second standard KGE
+// evaluation task after link prediction and exercises a different aspect of
+// embedding quality (calibration rather than ranking).
+
+// ClassifyResult aggregates triple-classification accuracy.
+type ClassifyResult struct {
+	// Accuracy is the overall fraction of correctly classified triples
+	// (positives and sampled negatives, balanced 1:1).
+	Accuracy float64
+	// PerRelation maps each relation seen in the test set to its accuracy.
+	PerRelation map[kg.RelationID]float64
+	// N is the number of classified triples (positives + negatives).
+	N int
+}
+
+// Classify learns per-relation thresholds on valid and reports accuracy on
+// test. Negatives are tail corruptions drawn uniformly; cfg.Filter (when
+// set) prevents sampling false negatives.
+func Classify(cfg Config, valid, test []kg.Triple) (ClassifyResult, error) {
+	if cfg.Model == nil || cfg.Entities == nil || cfg.Relations == nil {
+		return ClassifyResult{}, fmt.Errorf("eval: model and embedding tables are required")
+	}
+	if len(valid) == 0 || len(test) == 0 {
+		return ClassifyResult{}, fmt.Errorf("eval: classification needs non-empty valid and test sets")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Learn thresholds: for each relation, collect positive and negative
+	// scores on valid, then pick the cut maximizing balanced accuracy.
+	posScores := map[kg.RelationID][]float32{}
+	negScores := map[kg.RelationID][]float32{}
+	for _, tr := range valid {
+		posScores[tr.Relation] = append(posScores[tr.Relation], cfg.score(tr))
+		negScores[tr.Relation] = append(negScores[tr.Relation], cfg.score(cfg.corrupt(tr, rng)))
+	}
+	thresholds := map[kg.RelationID]float32{}
+	var global []float32 // fallback for relations unseen in valid
+	for rel, pos := range posScores {
+		thresholds[rel] = bestThreshold(pos, negScores[rel])
+		global = append(global, pos...)
+		global = append(global, negScores[rel]...)
+	}
+	globalThreshold := float32(0)
+	if len(global) > 0 {
+		sort.Slice(global, func(i, j int) bool { return global[i] < global[j] })
+		globalThreshold = global[len(global)/2]
+	}
+
+	// Classify test positives and an equal number of sampled negatives.
+	res := ClassifyResult{PerRelation: map[kg.RelationID]float64{}}
+	correct := map[kg.RelationID]int{}
+	count := map[kg.RelationID]int{}
+	decide := func(tr kg.Triple, truth bool) {
+		th, ok := thresholds[tr.Relation]
+		if !ok {
+			th = globalThreshold
+		}
+		predicted := cfg.score(tr) >= th
+		count[tr.Relation]++
+		res.N++
+		if predicted == truth {
+			correct[tr.Relation]++
+		}
+	}
+	for _, tr := range test {
+		decide(tr, true)
+		decide(cfg.corrupt(tr, rng), false)
+	}
+	totalCorrect := 0
+	for rel, c := range count {
+		res.PerRelation[rel] = float64(correct[rel]) / float64(c)
+		totalCorrect += correct[rel]
+	}
+	res.Accuracy = float64(totalCorrect) / float64(res.N)
+	return res, nil
+}
+
+// score evaluates one triple under the config's tables.
+func (cfg Config) score(tr kg.Triple) float32 {
+	return cfg.Model.Score(
+		cfg.Entities.Row(int(tr.Head)),
+		cfg.Relations.Row(int(tr.Relation)),
+		cfg.Entities.Row(int(tr.Tail)),
+	)
+}
+
+// corrupt replaces the tail with a random entity, avoiding known positives
+// when a filter is configured.
+func (cfg Config) corrupt(tr kg.Triple, rng *rand.Rand) kg.Triple {
+	n := cfg.Entities.Rows
+	for tries := 0; ; tries++ {
+		e := kg.EntityID(rng.Intn(n))
+		cand := kg.Triple{Head: tr.Head, Relation: tr.Relation, Tail: e}
+		if e == tr.Tail {
+			continue
+		}
+		if cfg.Filter != nil && cfg.Filter.Contains(cand) && tries < 16 {
+			continue
+		}
+		return cand
+	}
+}
+
+// bestThreshold picks the score cut maximizing accuracy over the labelled
+// valid scores (midpoints between adjacent distinct scores are candidates).
+func bestThreshold(pos, neg []float32) float32 {
+	type labelled struct {
+		s   float32
+		pos bool
+	}
+	all := make([]labelled, 0, len(pos)+len(neg))
+	for _, s := range pos {
+		all = append(all, labelled{s, true})
+	}
+	for _, s := range neg {
+		all = append(all, labelled{s, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	// Sweep: threshold below all[i] classifies [0,i) negative, [i,n) positive.
+	bestAcc, bestTh := -1, float32(0)
+	negBelow := 0
+	posAtOrAbove := len(pos)
+	for i := 0; i <= len(all); i++ {
+		acc := negBelow + posAtOrAbove
+		if acc > bestAcc {
+			bestAcc = acc
+			switch {
+			case i == 0:
+				bestTh = all[0].s - 1
+			case i == len(all):
+				bestTh = all[len(all)-1].s + 1
+			default:
+				bestTh = (all[i-1].s + all[i].s) / 2
+			}
+		}
+		if i < len(all) {
+			if all[i].pos {
+				posAtOrAbove--
+			} else {
+				negBelow++
+			}
+		}
+	}
+	return bestTh
+}

@@ -1,0 +1,234 @@
+// Package eval implements the link-prediction protocol the paper evaluates
+// with (§VI-A): for every test triple, rank the true head (and tail) among
+// corrupted candidates by model score and report Hits@k, Mean Rank (MR) and
+// Mean Reciprocal Rank (MRR).
+//
+// Both the full protocol (rank against every entity) and the
+// sampled-candidate protocol (rank against n_e random negatives, which the
+// paper uses on Freebase-86m where full ranking is infeasible) are
+// supported, in raw and filtered variants.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hetkg/internal/kg"
+	"hetkg/internal/model"
+	"hetkg/internal/vec"
+)
+
+// Config parameterizes an evaluation run.
+type Config struct {
+	// Model scores candidate triples.
+	Model model.Model
+	// Entities and Relations are the trained embedding tables.
+	Entities  *vec.Matrix
+	Relations *vec.Matrix
+	// Filter, when non-nil, enables the filtered setting: candidate
+	// corruptions that form a known positive triple are excluded from the
+	// ranking (the "FilteredMRR" of the paper's hyperparameter table).
+	Filter *kg.TripleSet
+	// NumCandidates limits ranking to a random sample of corrupting
+	// entities plus the true one (0 ranks against every entity). The
+	// paper's Freebase-86m runs use n_e = 1000.
+	NumCandidates int
+	// Seed drives candidate sampling.
+	Seed int64
+	// Hits lists the cutoffs to report (default 1, 3, 10).
+	Hits []int
+}
+
+// Result aggregates the link-prediction metrics.
+type Result struct {
+	// MRR is the mean reciprocal rank in [0, 1]; higher is better.
+	MRR float64
+	// MR is the mean rank; lower is better.
+	MR float64
+	// Hits maps each cutoff k to the fraction of ranks ≤ k.
+	Hits map[int]float64
+	// N is the number of (triple, side) rankings aggregated.
+	N int
+}
+
+// String renders the headline metrics in the paper's table format.
+func (r Result) String() string {
+	return fmt.Sprintf("MRR %.3f | Hits@1 %.3f | Hits@10 %.3f | MR %.1f",
+		r.MRR, r.Hits[1], r.Hits[10], r.MR)
+}
+
+// Evaluate ranks every test triple with both head and tail corruption and
+// aggregates the metrics.
+func Evaluate(cfg Config, test []kg.Triple) (Result, error) {
+	if cfg.Model == nil || cfg.Entities == nil || cfg.Relations == nil {
+		return Result{}, fmt.Errorf("eval: model and embedding tables are required")
+	}
+	if len(test) == 0 {
+		return Result{}, fmt.Errorf("eval: empty test set")
+	}
+	hits := cfg.Hits
+	if len(hits) == 0 {
+		hits = []int{1, 3, 10}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	agg := Result{Hits: make(map[int]float64, len(hits))}
+	var sumRR, sumRank float64
+	hitCounts := make(map[int]int, len(hits))
+
+	for _, tr := range test {
+		for _, side := range []bool{true, false} { // corrupt head, then tail
+			rank, err := rankOne(cfg, tr, side, rng)
+			if err != nil {
+				return Result{}, err
+			}
+			sumRR += 1 / float64(rank)
+			sumRank += float64(rank)
+			for _, k := range hits {
+				if rank <= k {
+					hitCounts[k]++
+				}
+			}
+			agg.N++
+		}
+	}
+	agg.MRR = sumRR / float64(agg.N)
+	agg.MR = sumRank / float64(agg.N)
+	for _, k := range hits {
+		agg.Hits[k] = float64(hitCounts[k]) / float64(agg.N)
+	}
+	return agg, nil
+}
+
+// rankOne ranks the true entity of tr (head if corruptHead) among candidate
+// corruptions. Ties count half, the standard "average" tie policy, so
+// constant scoring functions get chance-level rather than perfect ranks.
+func rankOne(cfg Config, tr kg.Triple, corruptHead bool, rng *rand.Rand) (int, error) {
+	r := cfg.Relations.Row(int(tr.Relation))
+	h := cfg.Entities.Row(int(tr.Head))
+	t := cfg.Entities.Row(int(tr.Tail))
+	trueScore := cfg.Model.Score(h, r, t)
+
+	candidates := cfg.candidates(tr, corruptHead, rng)
+	higher, equal := 0, 0
+	for _, e := range candidates {
+		if corruptHead && e == tr.Head || !corruptHead && e == tr.Tail {
+			continue
+		}
+		var cand kg.Triple
+		if corruptHead {
+			cand = kg.Triple{Head: e, Relation: tr.Relation, Tail: tr.Tail}
+		} else {
+			cand = kg.Triple{Head: tr.Head, Relation: tr.Relation, Tail: e}
+		}
+		if cfg.Filter != nil && cfg.Filter.Contains(cand) {
+			continue
+		}
+		var s float32
+		if corruptHead {
+			s = cfg.Model.Score(cfg.Entities.Row(int(e)), r, t)
+		} else {
+			s = cfg.Model.Score(h, r, cfg.Entities.Row(int(e)))
+		}
+		switch {
+		case s > trueScore:
+			higher++
+		case s == trueScore:
+			equal++
+		}
+	}
+	rank := 1 + higher
+	if equal > 0 {
+		rank += (equal + 1) / 2 // average tie position, rounded up
+	}
+	return rank, nil
+}
+
+// candidates returns the corrupting entity ids to rank against.
+func (cfg Config) candidates(tr kg.Triple, corruptHead bool, rng *rand.Rand) []kg.EntityID {
+	n := cfg.Entities.Rows
+	if cfg.NumCandidates <= 0 || cfg.NumCandidates >= n {
+		all := make([]kg.EntityID, n)
+		for i := range all {
+			all[i] = kg.EntityID(i)
+		}
+		return all
+	}
+	seen := make(map[kg.EntityID]struct{}, cfg.NumCandidates)
+	out := make([]kg.EntityID, 0, cfg.NumCandidates)
+	for len(out) < cfg.NumCandidates {
+		e := kg.EntityID(rng.Intn(n))
+		if corruptHead && e == tr.Head || !corruptHead && e == tr.Tail {
+			continue
+		}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// RankTriples is a diagnostic helper: it returns each test triple's
+// tail-corruption rank, sorted ascending, for inspecting the rank
+// distribution behind an MRR value.
+func RankTriples(cfg Config, test []kg.Triple) ([]int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ranks := make([]int, 0, len(test))
+	for _, tr := range test {
+		rank, err := rankOne(cfg, tr, false, rng)
+		if err != nil {
+			return nil, err
+		}
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	return ranks, nil
+}
+
+// ByRelation computes a separate Result per relation in the test set
+// (tail-corruption side), the standard diagnostic for spotting relations a
+// model handles poorly (symmetric relations under TransE, for example).
+func ByRelation(cfg Config, test []kg.Triple) (map[kg.RelationID]Result, error) {
+	if cfg.Model == nil || cfg.Entities == nil || cfg.Relations == nil {
+		return nil, fmt.Errorf("eval: model and embedding tables are required")
+	}
+	hits := cfg.Hits
+	if len(hits) == 0 {
+		hits = []int{1, 3, 10}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sumRR := map[kg.RelationID]float64{}
+	sumRank := map[kg.RelationID]float64{}
+	hitCount := map[kg.RelationID]map[int]int{}
+	n := map[kg.RelationID]int{}
+	for _, tr := range test {
+		rank, err := rankOne(cfg, tr, false, rng)
+		if err != nil {
+			return nil, err
+		}
+		sumRR[tr.Relation] += 1 / float64(rank)
+		sumRank[tr.Relation] += float64(rank)
+		if hitCount[tr.Relation] == nil {
+			hitCount[tr.Relation] = map[int]int{}
+		}
+		for _, k := range hits {
+			if rank <= k {
+				hitCount[tr.Relation][k]++
+			}
+		}
+		n[tr.Relation]++
+	}
+	out := make(map[kg.RelationID]Result, len(n))
+	for rel, count := range n {
+		r := Result{N: count, Hits: map[int]float64{}}
+		r.MRR = sumRR[rel] / float64(count)
+		r.MR = sumRank[rel] / float64(count)
+		for _, k := range hits {
+			r.Hits[k] = float64(hitCount[rel][k]) / float64(count)
+		}
+		out[rel] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+// Package kg defines the knowledge-graph representation shared by the whole
+// system: triples, the Graph container with adjacency and degree statistics,
+// dataset splits, and TSV import/export.
+//
+// A knowledge graph is G = {(h, r, t) | h, t ∈ E, r ∈ R}. Entities and
+// relations are identified by dense int32 ids so embedding tables can be
+// plain dense matrices indexed by id.
+package kg
+
+import "fmt"
+
+// EntityID identifies an entity (a vertex of the knowledge graph).
+type EntityID int32
+
+// RelationID identifies a relation (an edge label).
+type RelationID int32
+
+// Triple is one (head, relation, tail) fact.
+type Triple struct {
+	Head     EntityID
+	Relation RelationID
+	Tail     EntityID
+}
+
+// String renders the triple as "(h, r, t)".
+func (t Triple) String() string {
+	return fmt.Sprintf("(%d, %d, %d)", t.Head, t.Relation, t.Tail)
+}
+
+// TripleSet is a membership index over triples, used by the filtered
+// link-prediction protocol ("filtered MRR") to exclude known positives from
+// the candidate ranking, and by samplers to reject false negatives.
+type TripleSet struct {
+	m map[Triple]struct{}
+}
+
+// NewTripleSet builds a set containing all triples of the given slices.
+func NewTripleSet(lists ...[]Triple) *TripleSet {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	s := &TripleSet{m: make(map[Triple]struct{}, n)}
+	for _, l := range lists {
+		for _, t := range l {
+			s.m[t] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Contains reports whether t is in the set.
+func (s *TripleSet) Contains(t Triple) bool {
+	_, ok := s.m[t]
+	return ok
+}
+
+// Add inserts t into the set.
+func (s *TripleSet) Add(t Triple) { s.m[t] = struct{}{} }
+
+// Len returns the number of distinct triples in the set.
+func (s *TripleSet) Len() int { return len(s.m) }

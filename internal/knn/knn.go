@@ -1,0 +1,140 @@
+// Package knn provides exact nearest-neighbor search over embedding tables
+// — the primary downstream consumption of trained KGE embeddings (similar
+// entities for recommendation, candidate generation for QA, deduplication).
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hetkg/internal/kg"
+	"hetkg/internal/vec"
+)
+
+// Metric selects the similarity measure.
+type Metric int
+
+const (
+	// Cosine similarity (higher = closer); zero vectors score 0.
+	Cosine Metric = iota
+	// Dot product (higher = closer).
+	Dot
+	// L2 ranks by negative Euclidean distance (higher = closer).
+	L2
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Dot:
+		return "dot"
+	case L2:
+		return "l2"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is one neighbor: the row id and its similarity score.
+type Result struct {
+	ID    kg.EntityID
+	Score float32
+}
+
+// Index searches an embedding matrix exactly (brute force with a bounded
+// heap — at KGE scales a scan is memory-bandwidth-bound and beats
+// approximate structures until millions of rows).
+type Index struct {
+	m      *vec.Matrix
+	metric Metric
+	norms  []float32 // cached row l2 norms for Cosine
+}
+
+// New builds an index over m. The matrix is referenced, not copied; callers
+// must not resize it while searching (updates to values are fine for Dot
+// and L2; Cosine caches norms at construction).
+func New(m *vec.Matrix, metric Metric) (*Index, error) {
+	if m == nil || m.Rows == 0 {
+		return nil, fmt.Errorf("knn: empty matrix")
+	}
+	ix := &Index{m: m, metric: metric}
+	if metric == Cosine {
+		ix.norms = make([]float32, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			ix.norms[i] = vec.L2(m.Row(i))
+		}
+	}
+	return ix, nil
+}
+
+// Search returns the k most similar rows to query, most similar first.
+// exclude (when ≥ 0) removes one row id from the results — pass the query's
+// own id for "neighbors of entity X".
+func (ix *Index) Search(query []float32, k int, exclude kg.EntityID) ([]Result, error) {
+	if len(query) != ix.m.Dim {
+		return nil, fmt.Errorf("knn: query width %d, index width %d", len(query), ix.m.Dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	var qNorm float32
+	if ix.metric == Cosine {
+		qNorm = vec.L2(query)
+	}
+	h := &resultHeap{}
+	heap.Init(h)
+	for i := 0; i < ix.m.Rows; i++ {
+		if kg.EntityID(i) == exclude {
+			continue
+		}
+		var s float32
+		switch ix.metric {
+		case Cosine:
+			d := qNorm * ix.norms[i]
+			if d > 0 {
+				s = vec.Dot(query, ix.m.Row(i)) / d
+			}
+		case Dot:
+			s = vec.Dot(query, ix.m.Row(i))
+		case L2:
+			s = -vec.L2Dist(query, ix.m.Row(i))
+		}
+		if h.Len() < k {
+			heap.Push(h, Result{ID: kg.EntityID(i), Score: s})
+		} else if s > (*h)[0].Score {
+			(*h)[0] = Result{ID: kg.EntityID(i), Score: s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out, nil
+}
+
+// Neighbors returns the k nearest rows to row id (excluding itself).
+func (ix *Index) Neighbors(id kg.EntityID, k int) ([]Result, error) {
+	if int(id) < 0 || int(id) >= ix.m.Rows {
+		return nil, fmt.Errorf("knn: id %d out of range [0,%d)", id, ix.m.Rows)
+	}
+	return ix.Search(ix.m.Row(int(id)), k, id)
+}
+
+// resultHeap is a min-heap on Score, so the root is the weakest of the
+// current top-k and can be displaced cheaply.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,161 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hetkg/internal/kg"
+	"hetkg/internal/vec"
+)
+
+func axisMatrix() *vec.Matrix {
+	// Rows 0..3 on axes, row 4 near row 0.
+	m := vec.NewMatrix(5, 4)
+	m.Row(0)[0] = 1
+	m.Row(1)[1] = 1
+	m.Row(2)[2] = 1
+	m.Row(3)[3] = 1
+	m.Row(4)[0] = 0.9
+	m.Row(4)[1] = 0.1
+	return m
+}
+
+func TestCosineNeighbors(t *testing.T) {
+	ix, err := New(axisMatrix(), Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Neighbors(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].ID != 4 {
+		t.Errorf("nearest to row 0 = %d, want 4", res[0].ID)
+	}
+	if res[0].Score < res[1].Score {
+		t.Error("results not sorted descending")
+	}
+	for _, r := range res {
+		if r.ID == 0 {
+			t.Error("self not excluded")
+		}
+	}
+}
+
+func TestL2Search(t *testing.T) {
+	ix, _ := New(axisMatrix(), L2)
+	q := []float32{0.95, 0.05, 0, 0}
+	res, err := ix.Search(q, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 4 && res[0].ID != 0 {
+		t.Errorf("nearest = %d, want 0 or 4", res[0].ID)
+	}
+}
+
+func TestDotSearch(t *testing.T) {
+	m := vec.NewMatrix(3, 2)
+	m.Row(0)[0] = 1
+	m.Row(1)[0] = 10 // dot favors magnitude
+	m.Row(2)[1] = 1
+	ix, _ := New(m, Dot)
+	res, _ := ix.Search([]float32{1, 0}, 1, -1)
+	if res[0].ID != 1 {
+		t.Errorf("dot nearest = %d, want 1 (largest projection)", res[0].ID)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, Cosine); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	ix, _ := New(axisMatrix(), Cosine)
+	if _, err := ix.Search([]float32{1}, 3, -1); err == nil {
+		t.Error("wrong-width query accepted")
+	}
+	if _, err := ix.Neighbors(99, 3); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if res, err := ix.Search(make([]float32, 4), 0, -1); err != nil || res != nil {
+		t.Error("k=0 should return nothing, no error")
+	}
+}
+
+func TestKLargerThanRows(t *testing.T) {
+	ix, _ := New(axisMatrix(), Cosine)
+	res, err := ix.Neighbors(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 { // 5 rows minus self
+		t.Errorf("got %d results, want 4", len(res))
+	}
+}
+
+func TestZeroVectorCosine(t *testing.T) {
+	m := vec.NewMatrix(2, 3)
+	m.Row(1)[0] = 1
+	ix, _ := New(m, Cosine)
+	res, err := ix.Search(make([]float32, 3), 2, -1) // zero query
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Score != 0 {
+			t.Errorf("zero query scored %v against row %d", r.Score, r.ID)
+		}
+	}
+}
+
+// Property: the heap-based top-k agrees with a full sort.
+func TestTopKMatchesFullSort(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := vec.NewMatrix(40, 6)
+		m.InitXavier(rng)
+		ix, err := New(m, Cosine)
+		if err != nil {
+			return false
+		}
+		q := make([]float32, 6)
+		for i := range q {
+			q[i] = rng.Float32()*2 - 1
+		}
+		k := 1 + int(kRaw%10)
+		got, err := ix.Search(q, k, -1)
+		if err != nil || len(got) != k {
+			return false
+		}
+		// Brute-force reference.
+		type sc struct {
+			id kg.EntityID
+			s  float32
+		}
+		var all []sc
+		qn := vec.L2(q)
+		for i := 0; i < m.Rows; i++ {
+			d := qn * vec.L2(m.Row(i))
+			var s float32
+			if d > 0 {
+				s = vec.Dot(q, m.Row(i)) / d
+			}
+			all = append(all, sc{kg.EntityID(i), s})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+		for i := 0; i < k; i++ {
+			if got[i].Score != all[i].s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package metrics provides the lightweight instrumentation the experiment
+// harness reads: atomic counters, hit ratios, and computation/communication
+// time breakdowns (the quantities behind the paper's Table I, Fig. 7, and
+// Fig. 8 hit-ratio plots).
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjustable atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Ratio tracks a hits/total pair, e.g. cache hit ratio.
+type Ratio struct {
+	Hits  Counter
+	Total Counter
+}
+
+// Hit records one hit (which is also one access).
+func (r *Ratio) Hit() {
+	r.Hits.Inc()
+	r.Total.Inc()
+}
+
+// Miss records one miss.
+func (r *Ratio) Miss() { r.Total.Inc() }
+
+// Value returns hits/total, or 0 when nothing was recorded.
+func (r *Ratio) Value() float64 {
+	t := r.Total.Value()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Hits.Value()) / float64(t)
+}
+
+// Reset zeroes both counters.
+func (r *Ratio) Reset() {
+	r.Hits.Reset()
+	r.Total.Reset()
+}
+
+// Breakdown accumulates the two time components of distributed training:
+// local computation (measured wall-clock) and communication (simulated from
+// metered traffic; see internal/netsim).
+type Breakdown struct {
+	compNS atomic.Int64
+	commNS atomic.Int64
+}
+
+// AddComp records computation time.
+func (b *Breakdown) AddComp(d time.Duration) { b.compNS.Add(int64(d)) }
+
+// AddComm records communication time.
+func (b *Breakdown) AddComm(d time.Duration) { b.commNS.Add(int64(d)) }
+
+// Comp returns accumulated computation time.
+func (b *Breakdown) Comp() time.Duration { return time.Duration(b.compNS.Load()) }
+
+// Comm returns accumulated communication time.
+func (b *Breakdown) Comm() time.Duration { return time.Duration(b.commNS.Load()) }
+
+// Total returns Comp + Comm.
+func (b *Breakdown) Total() time.Duration { return b.Comp() + b.Comm() }
+
+// CommFraction returns Comm/Total, the paper's Table I statistic.
+func (b *Breakdown) CommFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Comm()) / float64(t)
+}
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() {
+	b.compNS.Store(0)
+	b.commNS.Store(0)
+}
+
+// String renders "comp=… comm=… (x% comm)".
+func (b *Breakdown) String() string {
+	return fmt.Sprintf("comp=%v comm=%v (%.0f%% comm)", b.Comp().Round(time.Millisecond),
+		b.Comm().Round(time.Millisecond), 100*b.CommFraction())
+}
+
+// EpochStat is one epoch's record in a training run, the raw material of
+// the paper's convergence figures (Fig. 5, Fig. 9).
+type EpochStat struct {
+	Epoch    int
+	Loss     float64
+	MRR      float64
+	Comp     time.Duration
+	Comm     time.Duration
+	HitRatio float64
+	// CumTime is total training time (comp+comm) through this epoch.
+	CumTime time.Duration
+}
+
+// Total returns the epoch's comp+comm time.
+func (e EpochStat) Total() time.Duration { return e.Comp + e.Comm }

@@ -1,0 +1,76 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss turns a scored positive/negative pair (or a labelled score) into a
+// training signal: the loss value and the derivative of the loss with
+// respect to each score. Both losses from §III-A are implemented.
+type Loss interface {
+	// Name identifies the loss.
+	Name() string
+	// PosNeg returns the loss and the gradients d(loss)/d(posScore) and
+	// d(loss)/d(negScore) for one positive/negative score pair.
+	PosNeg(posScore, negScore float32) (loss, dPos, dNeg float32)
+}
+
+// NewLoss returns the loss registered under name ("logistic" or "ranking").
+func NewLoss(name string, margin float32) (Loss, error) {
+	switch name {
+	case "logistic":
+		return LogisticLoss{}, nil
+	case "ranking", "margin":
+		return RankingLoss{Margin: margin}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown loss %q", name)
+	}
+}
+
+// LogisticLoss is L = log(1 + exp(-y·f)) summed over the positive (y=+1)
+// and negative (y=-1) triple.
+type LogisticLoss struct{}
+
+// Name implements Loss.
+func (LogisticLoss) Name() string { return "logistic" }
+
+// PosNeg implements Loss.
+func (LogisticLoss) PosNeg(posScore, negScore float32) (loss, dPos, dNeg float32) {
+	lp := softplus(-posScore) // log(1+exp(-f_pos))
+	ln := softplus(negScore)  // log(1+exp(+f_neg))
+	loss = lp + ln
+	dPos = -Sigmoid(-posScore) // d/df log(1+e^{-f}) = -σ(-f)
+	dNeg = Sigmoid(negScore)
+	return loss, dPos, dNeg
+}
+
+// RankingLoss is the margin loss L = max(0, γ − f(pos) + f(neg)).
+type RankingLoss struct {
+	// Margin is γ; the paper's hyperparameter table uses model defaults
+	// (TransE typically γ=1..12 depending on dataset).
+	Margin float32
+}
+
+// Name implements Loss.
+func (RankingLoss) Name() string { return "ranking" }
+
+// PosNeg implements Loss.
+func (l RankingLoss) PosNeg(posScore, negScore float32) (loss, dPos, dNeg float32) {
+	loss = l.Margin - posScore + negScore
+	if loss <= 0 {
+		return 0, 0, 0
+	}
+	return loss, -1, 1
+}
+
+// softplus computes log(1+exp(x)) with overflow protection.
+func softplus(x float32) float32 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return 0
+	}
+	return float32(math.Log1p(math.Exp(float64(x))))
+}

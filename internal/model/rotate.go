@@ -1,0 +1,70 @@
+package model
+
+import "math"
+
+// RotatE (Sun et al., ICLR'19) models each relation as a rotation in the
+// complex plane: entities live in C^d (rows pack [real ; imag], width 2d),
+// relations are d phase angles, and score(h, r, t) = −‖h ∘ e^{iθ} − t‖².
+// Rotations compose, invert, and can be symmetric (θ=π) or antisymmetric,
+// which is why RotatE subsumes TransE-style translation patterns. It is the
+// model self-adversarial negative sampling (Config.AdversarialTemp) was
+// introduced with, so the two extensions pair naturally.
+type RotatE struct{}
+
+// Name implements Model.
+func (RotatE) Name() string { return "RotatE" }
+
+// EntityDim implements Model: complex entities.
+func (RotatE) EntityDim(d int) int { return 2 * d }
+
+// RelationDim implements Model: one phase per complex coordinate.
+func (RotatE) RelationDim(d int) int { return d }
+
+// Score implements Model.
+func (RotatE) Score(h, r, t []float32) float32 {
+	d := len(r)
+	hR, hI := h[:d], h[d:]
+	tR, tI := t[:d], t[d:]
+	var s float32
+	for i := 0; i < d; i++ {
+		sin, cos := sincos32(r[i])
+		aR := hR[i]*cos - hI[i]*sin
+		aI := hR[i]*sin + hI[i]*cos
+		dR := aR - tR[i]
+		dI := aI - tI[i]
+		s += dR*dR + dI*dI
+	}
+	return -s
+}
+
+// Grad implements Model. With a = h·e^{iθ} and residual d = a − t:
+// ∂S/∂t = 2d, ∂S/∂h = −2·d·e^{−iθ} (rotate the residual back),
+// ∂S/∂θ = −2(dI·aR − dR·aI).
+func (RotatE) Grad(h, r, t []float32, dScore float32, gh, gr, gt []float32) {
+	d := len(r)
+	hR, hI := h[:d], h[d:]
+	tR, tI := t[:d], t[d:]
+	for i := 0; i < d; i++ {
+		sin, cos := sincos32(r[i])
+		aR := hR[i]*cos - hI[i]*sin
+		aI := hR[i]*sin + hI[i]*cos
+		dR := aR - tR[i]
+		dI := aI - tI[i]
+		if gt != nil {
+			gt[i] += dScore * 2 * dR
+			gt[d+i] += dScore * 2 * dI
+		}
+		if gh != nil {
+			gh[i] += dScore * -2 * (dR*cos + dI*sin)
+			gh[d+i] += dScore * -2 * (-dR*sin + dI*cos)
+		}
+		if gr != nil {
+			gr[i] += dScore * -2 * (dI*aR - dR*aI)
+		}
+	}
+}
+
+func sincos32(x float32) (sin, cos float32) {
+	s, c := math.Sincos(float64(x))
+	return float32(s), float32(c)
+}

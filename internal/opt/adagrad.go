@@ -1,0 +1,62 @@
+package opt
+
+import (
+	"math"
+	"sync"
+)
+
+// AdaGrad keeps a per-row sum of squared gradients and scales each update by
+// its inverse square root (Duchi et al.):
+//
+//	G_t += g ⊙ g
+//	row -= lr * g / (sqrt(G_t) + eps)
+//
+// This is the update Algorithm 4 of the paper runs on the server for every
+// pushed gradient. State grows with the number of distinct rows touched —
+// the memory cost the paper notes as AdaGrad's drawback (§VI-A).
+type AdaGrad struct {
+	lr  float32
+	eps float32
+
+	mu    sync.Mutex
+	accum map[uint64][]float32
+}
+
+// NewAdaGrad returns an AdaGrad optimizer with the given learning rate and
+// numerical-stability epsilon.
+func NewAdaGrad(lr, eps float32) *AdaGrad {
+	return &AdaGrad{lr: lr, eps: eps, accum: make(map[uint64][]float32)}
+}
+
+// Name implements Optimizer.
+func (*AdaGrad) Name() string { return "adagrad" }
+
+// Apply implements Optimizer.
+func (o *AdaGrad) Apply(key uint64, row, grad []float32) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	acc, ok := o.accum[key]
+	if !ok || len(acc) != len(grad) {
+		acc = make([]float32, len(grad))
+		o.accum[key] = acc
+	}
+	for i, g := range grad {
+		acc[i] += g * g
+		row[i] -= o.lr * g / (float32(math.Sqrt(float64(acc[i]))) + o.eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (o *AdaGrad) Reset() {
+	o.mu.Lock()
+	o.accum = make(map[uint64][]float32)
+	o.mu.Unlock()
+}
+
+// StateRows reports how many rows currently hold accumulator state, the
+// memory-overhead figure the paper calls out for AdaGrad.
+func (o *AdaGrad) StateRows() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.accum)
+}

@@ -1,0 +1,56 @@
+// Package opt implements the sparse optimizers used server-side by the
+// parameter server: AdaGrad (the paper's optimizer, §VI-A) and plain SGD.
+//
+// Optimizer state is per-row and owned by whoever owns the embedding row
+// (the PS shard), mirroring DGL-KE's design where the server applies
+// gradients pushed by workers.
+package opt
+
+import "fmt"
+
+// Optimizer applies a gradient to one embedding row in place. The training
+// objective is *maximized* via loss gradients that already carry their sign,
+// so Apply always performs descent: param -= lr * step(grad).
+type Optimizer interface {
+	// Name identifies the optimizer.
+	Name() string
+	// Apply updates row in place given its gradient. key identifies the row
+	// so stateful optimizers can keep per-row accumulators; rows of
+	// different widths may share an optimizer as long as each key keeps a
+	// consistent width.
+	Apply(key uint64, row, grad []float32)
+	// Reset drops all accumulated state.
+	Reset()
+}
+
+// New constructs an optimizer by name ("adagrad", "sgd", or "adam").
+func New(name string, lr float32) (Optimizer, error) {
+	switch name {
+	case "adagrad":
+		return NewAdaGrad(lr, 1e-10), nil
+	case "sgd":
+		return &SGD{LR: lr}, nil
+	case "adam":
+		return NewAdam(lr), nil
+	default:
+		return nil, fmt.Errorf("opt: unknown optimizer %q", name)
+	}
+}
+
+// SGD is plain stochastic gradient descent: row -= lr*grad.
+type SGD struct {
+	LR float32
+}
+
+// Name implements Optimizer.
+func (*SGD) Name() string { return "sgd" }
+
+// Apply implements Optimizer.
+func (o *SGD) Apply(_ uint64, row, grad []float32) {
+	for i, g := range grad {
+		row[i] -= o.LR * g
+	}
+}
+
+// Reset implements Optimizer. SGD is stateless.
+func (o *SGD) Reset() {}

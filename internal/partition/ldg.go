@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"math/rand"
+
+	"hetkg/internal/kg"
+)
+
+// LDG is the Linear Deterministic Greedy streaming partitioner (Stanton &
+// Kliot, KDD'12): entities arrive in a stream and each is irrevocably
+// assigned to the partition maximizing
+//
+//	|neighbors already placed there| × (1 − load/capacity)
+//
+// It uses one pass and O(V) memory, which is how production systems
+// partition graphs too large for multilevel algorithms to hold in memory —
+// the regime Freebase-86m actually occupies. Quality sits between Random
+// and MetisLike; the trade-off is measured by cmd/hetkg-partition.
+type LDG struct {
+	// Seed shuffles the stream order (stream order matters for LDG).
+	Seed int64
+	// Slack is the allowed load overshoot (default 0.1).
+	Slack float64
+	// Passes re-streams the graph this many times, reassigning with the
+	// previous pass as context (default 1; 2–3 improve cuts noticeably).
+	Passes int
+}
+
+// Name implements Partitioner.
+func (*LDG) Name() string { return "ldg" }
+
+// Partition implements Partitioner.
+func (p *LDG) Partition(g *kg.Graph, k int) (*Result, error) {
+	if err := validate(g, k); err != nil {
+		return nil, err
+	}
+	slack := p.Slack
+	if slack <= 0 {
+		slack = 0.1
+	}
+	passes := p.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	capacity := float64(g.NumEntity)/float64(k)*(1+slack) + 1
+
+	part := make([]int32, g.NumEntity)
+	for i := range part {
+		part[i] = -1
+	}
+	load := make([]int, k)
+	order := rng.Perm(g.NumEntity)
+	score := make([]float64, k)
+
+	for pass := 0; pass < passes; pass++ {
+		for _, ei := range order {
+			e := kg.EntityID(ei)
+			// On re-streaming, lift the entity out before re-placing it.
+			if part[ei] >= 0 {
+				load[part[ei]]--
+				part[ei] = -1
+			}
+			for i := range score {
+				score[i] = 0
+			}
+			for _, ti := range g.IncidentTriples(e) {
+				tr := g.Triples[ti]
+				other := tr.Head
+				if other == e {
+					other = tr.Tail
+				}
+				if q := part[other]; q >= 0 {
+					score[q]++
+				}
+			}
+			best, bestScore := 0, -1.0
+			for q := 0; q < k; q++ {
+				s := (score[q] + 1) * (1 - float64(load[q])/capacity)
+				if s > bestScore {
+					best, bestScore = q, s
+				}
+			}
+			part[ei] = int32(best)
+			load[best]++
+		}
+	}
+
+	r := &Result{K: k, EntityPart: part}
+	assignTriples(g, r)
+	return r, nil
+}

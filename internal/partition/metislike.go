@@ -1,0 +1,297 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"hetkg/internal/kg"
+)
+
+// MetisLike is a from-scratch multilevel k-way partitioner in the style of
+// METIS (Karypis & Kumar): the entity graph is repeatedly coarsened by
+// heavy-edge matching, the coarsest graph is partitioned greedily under a
+// balance constraint, and the partition is projected back up with boundary
+// Kernighan–Lin refinement at every level.
+type MetisLike struct {
+	// Seed drives matching order and tie-breaking.
+	Seed int64
+	// Imbalance is the allowed load slack (default 0.05 = 5%).
+	Imbalance float64
+	// CoarsestSize stops coarsening once the graph is this small
+	// (default max(4k, 64) nodes).
+	CoarsestSize int
+	// RefinePasses is the number of KL passes per level (default 3).
+	RefinePasses int
+}
+
+// Name implements Partitioner.
+func (*MetisLike) Name() string { return "metis" }
+
+// level is one graph in the coarsening hierarchy. Nodes carry weights (how
+// many original entities they aggregate); edges carry multiplicities (how
+// many triples connect the two sides).
+type level struct {
+	nodeW []int64
+	adj   []map[int32]int64 // adj[u][v] = edge weight
+	// coarseOf maps this level's nodes to the coarser level's nodes
+	// (filled when the next level is built).
+	coarseOf []int32
+}
+
+// Partition implements Partitioner.
+func (m *MetisLike) Partition(g *kg.Graph, k int) (*Result, error) {
+	if err := validate(g, k); err != nil {
+		return nil, err
+	}
+	imbalance := m.Imbalance
+	if imbalance <= 0 {
+		imbalance = 0.05
+	}
+	coarsest := m.CoarsestSize
+	if coarsest <= 0 {
+		coarsest = 4 * k
+		if coarsest < 64 {
+			coarsest = 64
+		}
+	}
+	passes := m.RefinePasses
+	if passes <= 0 {
+		passes = 3
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	// Level 0: the entity graph.
+	base := &level{
+		nodeW: make([]int64, g.NumEntity),
+		adj:   make([]map[int32]int64, g.NumEntity),
+	}
+	for i := range base.adj {
+		base.adj[i] = make(map[int32]int64)
+	}
+	for e := 0; e < g.NumEntity; e++ {
+		base.nodeW[e] = 1
+	}
+	for _, t := range g.Triples {
+		if t.Head == t.Tail {
+			continue
+		}
+		base.adj[t.Head][int32(t.Tail)]++
+		base.adj[t.Tail][int32(t.Head)]++
+	}
+
+	// Coarsening phase.
+	levels := []*level{base}
+	for {
+		cur := levels[len(levels)-1]
+		if len(cur.nodeW) <= coarsest {
+			break
+		}
+		next, shrunk := coarsen(cur, rng)
+		if !shrunk {
+			break
+		}
+		levels = append(levels, next)
+	}
+
+	// Initial partition on the coarsest level.
+	top := levels[len(levels)-1]
+	part := greedyInitial(top, k, imbalance, rng)
+	refine(top, part, k, imbalance, passes)
+
+	// Uncoarsening with refinement.
+	for li := len(levels) - 2; li >= 0; li-- {
+		cur := levels[li]
+		finer := make([]int32, len(cur.nodeW))
+		for v := range finer {
+			finer[v] = part[cur.coarseOf[v]]
+		}
+		part = finer
+		refine(cur, part, k, imbalance, passes)
+	}
+
+	r := &Result{K: k, EntityPart: part}
+	assignTriples(g, r)
+	return r, nil
+}
+
+// coarsen performs one round of heavy-edge matching and contraction. It
+// returns the coarser level and whether meaningful shrinkage happened.
+func coarsen(cur *level, rng *rand.Rand) (*level, bool) {
+	n := len(cur.nodeW)
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, ui := range order {
+		u := int32(ui)
+		if match[u] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int64 = -1
+		for v, w := range cur.adj[u] {
+			if match[v] != -1 || v == u {
+				continue
+			}
+			// Tie-break on vertex id: map iteration order must not leak
+			// into the partition (training reproducibility depends on it).
+			if w > bestW || (w == bestW && v < best) {
+				best, bestW = v, w
+			}
+		}
+		if best == -1 {
+			match[u] = u // matched with itself
+		} else {
+			match[u] = best
+			match[best] = u
+		}
+	}
+	// Number coarse nodes.
+	cur.coarseOf = make([]int32, n)
+	for i := range cur.coarseOf {
+		cur.coarseOf[i] = -1
+	}
+	var nc int32
+	for u := int32(0); u < int32(n); u++ {
+		if cur.coarseOf[u] != -1 {
+			continue
+		}
+		cur.coarseOf[u] = nc
+		if v := match[u]; v != u && v >= 0 {
+			cur.coarseOf[v] = nc
+		}
+		nc++
+	}
+	if int(nc) > n*9/10 { // shrinking too slowly: stop coarsening
+		return nil, false
+	}
+	next := &level{
+		nodeW: make([]int64, nc),
+		adj:   make([]map[int32]int64, nc),
+	}
+	for i := range next.adj {
+		next.adj[i] = make(map[int32]int64)
+	}
+	for u := int32(0); u < int32(n); u++ {
+		cu := cur.coarseOf[u]
+		next.nodeW[cu] += cur.nodeW[u]
+		for v, w := range cur.adj[u] {
+			cv := cur.coarseOf[v]
+			if cu != cv {
+				next.adj[cu][cv] += w
+			}
+		}
+	}
+	return next, true
+}
+
+// greedyInitial assigns coarse nodes to partitions in descending weight
+// order, choosing for each node the partition that maximizes attachment
+// (edge weight already placed there) subject to the load cap.
+func greedyInitial(l *level, k int, imbalance float64, rng *rand.Rand) []int32 {
+	n := len(l.nodeW)
+	var totalW int64
+	for _, w := range l.nodeW {
+		totalW += w
+	}
+	cap64 := int64(float64(totalW)/float64(k)*(1+imbalance)) + 1
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(i, j int) bool { return l.nodeW[order[i]] > l.nodeW[order[j]] })
+
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	load := make([]int64, k)
+	for _, u := range order {
+		gain := make([]int64, k)
+		for v, w := range l.adj[u] {
+			if p := part[v]; p >= 0 {
+				gain[p] += w
+			}
+		}
+		best, bestScore := -1, int64(-1)
+		for p := 0; p < k; p++ {
+			if load[p]+l.nodeW[u] > cap64 {
+				continue
+			}
+			// Prefer attachment, break ties by lighter load.
+			score := gain[p]*1024 - load[p]
+			if best == -1 || score > bestScore {
+				best, bestScore = p, score
+			}
+		}
+		if best == -1 { // everything full: least-loaded wins regardless of cap
+			best = 0
+			for p := 1; p < k; p++ {
+				if load[p] < load[best] {
+					best = p
+				}
+			}
+		}
+		part[u] = int32(best)
+		load[best] += l.nodeW[u]
+	}
+	return part
+}
+
+// refine runs boundary Kernighan–Lin passes: move nodes to the partition
+// with the highest cut-gain when the move keeps the balance constraint.
+func refine(l *level, part []int32, k int, imbalance float64, passes int) {
+	var totalW int64
+	for _, w := range l.nodeW {
+		totalW += w
+	}
+	cap64 := int64(float64(totalW)/float64(k)*(1+imbalance)) + 1
+	load := make([]int64, k)
+	for u, w := range l.nodeW {
+		load[part[u]] += w
+	}
+	gain := make([]int64, k)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for u := range l.nodeW {
+			pu := part[u]
+			if len(l.adj[u]) == 0 {
+				continue
+			}
+			for p := range gain {
+				gain[p] = 0
+			}
+			boundary := false
+			for v, w := range l.adj[u] {
+				gain[part[v]] += w
+				if part[v] != pu {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			best, bestGain := pu, int64(0)
+			for p := 0; p < k; p++ {
+				if int32(p) == pu {
+					continue
+				}
+				g := gain[p] - gain[pu]
+				if g > bestGain && load[p]+l.nodeW[u] <= cap64 {
+					best, bestGain = int32(p), g
+				}
+			}
+			if best != pu {
+				load[pu] -= l.nodeW[u]
+				load[best] += l.nodeW[u]
+				part[u] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

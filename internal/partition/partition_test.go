@@ -1,0 +1,262 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetkg/internal/dataset"
+	"hetkg/internal/kg"
+)
+
+// clusteredGraph builds a graph with c dense clusters and sparse bridges —
+// the structure where a min-cut partitioner must beat random decisively.
+func clusteredGraph(t *testing.T, c, perCluster int, seed int64) *kg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := c * perCluster
+	var triples []kg.Triple
+	seen := map[kg.Triple]bool{}
+	add := func(h, tl int) {
+		if h == tl {
+			return
+		}
+		tr := kg.Triple{Head: kg.EntityID(h), Relation: 0, Tail: kg.EntityID(tl)}
+		if !seen[tr] {
+			seen[tr] = true
+			triples = append(triples, tr)
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		base := ci * perCluster
+		for e := 0; e < perCluster*6; e++ { // dense intra-cluster edges
+			add(base+rng.Intn(perCluster), base+rng.Intn(perCluster))
+		}
+	}
+	for b := 0; b < c; b++ { // a handful of bridges
+		add(b*perCluster, ((b+1)%c)*perCluster)
+	}
+	return kg.MustNewGraph("clustered", n, 1, triples)
+}
+
+func TestValidate(t *testing.T) {
+	g := clusteredGraph(t, 2, 10, 1)
+	for _, p := range []Partitioner{&Random{Seed: 1}, &MetisLike{Seed: 1}} {
+		if _, err := p.Partition(g, 0); err == nil {
+			t.Errorf("%s accepted k=0", p.Name())
+		}
+		if _, err := p.Partition(g, g.NumEntity+1); err == nil {
+			t.Errorf("%s accepted k > entities", p.Name())
+		}
+	}
+}
+
+func TestRandomPartitionCoversAllTriples(t *testing.T) {
+	g := clusteredGraph(t, 3, 20, 2)
+	r, err := (&Random{Seed: 3}).Partition(g, 4)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	total := 0
+	for _, idx := range r.TripleIdx {
+		total += len(idx)
+	}
+	if total != g.NumTriples() {
+		t.Errorf("assigned %d triples, graph has %d", total, g.NumTriples())
+	}
+	for e, p := range r.EntityPart {
+		if p < 0 || int(p) >= 4 {
+			t.Fatalf("entity %d assigned to invalid partition %d", e, p)
+		}
+	}
+}
+
+func TestMetisBeatsRandomOnClusteredGraph(t *testing.T) {
+	g := clusteredGraph(t, 4, 50, 4)
+	randRes, err := (&Random{Seed: 5}).Partition(g, 4)
+	if err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	metisRes, err := (&MetisLike{Seed: 5}).Partition(g, 4)
+	if err != nil {
+		t.Fatalf("metis: %v", err)
+	}
+	rc, mc := randRes.CutFraction(g), metisRes.CutFraction(g)
+	if mc >= rc/2 {
+		t.Errorf("metis cut %.3f not well below random cut %.3f", mc, rc)
+	}
+	if mc > 0.15 {
+		t.Errorf("metis cut %.3f too high for a 4-cluster graph", mc)
+	}
+}
+
+func TestMetisBalance(t *testing.T) {
+	g := dataset.FB15kLike(dataset.Tiny, 6)
+	r, err := (&MetisLike{Seed: 6}).Partition(g, 4)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	// Triple load is assigned by head entity; on a skewed graph allow
+	// generous slack, but no partition may be empty or hold everything.
+	if b := r.Balance(); b > 2.5 {
+		t.Errorf("balance = %.2f, want ≤ 2.5", b)
+	}
+	for p, idx := range r.TripleIdx {
+		if len(idx) == 0 {
+			t.Errorf("partition %d is empty", p)
+		}
+	}
+}
+
+func TestMetisOnSkewedRealisticGraph(t *testing.T) {
+	g := dataset.FB15kLike(dataset.Tiny, 7)
+	randRes, _ := (&Random{Seed: 7}).Partition(g, 4)
+	metisRes, err := (&MetisLike{Seed: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if metisRes.CutFraction(g) >= randRes.CutFraction(g) {
+		t.Errorf("metis cut %.3f not below random %.3f on skewed graph",
+			metisRes.CutFraction(g), randRes.CutFraction(g))
+	}
+}
+
+func TestK1IsNoCut(t *testing.T) {
+	g := clusteredGraph(t, 2, 10, 8)
+	for _, p := range []Partitioner{&Random{Seed: 1}, &MetisLike{Seed: 1}} {
+		r, err := p.Partition(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if cut := r.EdgeCut(g); cut != 0 {
+			t.Errorf("%s k=1 cut = %d, want 0", p.Name(), cut)
+		}
+		if len(r.TripleIdx[0]) != g.NumTriples() {
+			t.Errorf("%s k=1 did not keep all triples", p.Name())
+		}
+	}
+}
+
+func TestSubgraphsPreserveUniverse(t *testing.T) {
+	g := clusteredGraph(t, 2, 20, 9)
+	r, _ := (&MetisLike{Seed: 9}).Partition(g, 2)
+	subs := r.Subgraphs(g)
+	if len(subs) != 2 {
+		t.Fatalf("got %d subgraphs, want 2", len(subs))
+	}
+	total := 0
+	for _, s := range subs {
+		total += s.NumTriples()
+		if s.NumEntity != g.NumEntity || s.NumRel != g.NumRel {
+			t.Error("subgraph universe changed")
+		}
+	}
+	if total != g.NumTriples() {
+		t.Errorf("subgraphs hold %d triples, want %d", total, g.NumTriples())
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := clusteredGraph(t, 3, 30, 10)
+	a, _ := (&MetisLike{Seed: 11}).Partition(g, 3)
+	b, _ := (&MetisLike{Seed: 11}).Partition(g, 3)
+	for i := range a.EntityPart {
+		if a.EntityPart[i] != b.EntityPart[i] {
+			t.Fatal("MetisLike not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"random", "metis"} {
+		p, err := New(name, 1)
+		if err != nil || p == nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+	if _, err := New("kahip", 1); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}
+
+func TestSelfLoopsDoNotCrashMetis(t *testing.T) {
+	triples := []kg.Triple{
+		{Head: 0, Relation: 0, Tail: 0},
+		{Head: 0, Relation: 0, Tail: 1},
+		{Head: 1, Relation: 0, Tail: 2},
+		{Head: 2, Relation: 0, Tail: 3},
+	}
+	g := kg.MustNewGraph("loops", 4, 1, triples)
+	if _, err := (&MetisLike{Seed: 1}).Partition(g, 2); err != nil {
+		t.Fatalf("Partition with self-loop: %v", err)
+	}
+}
+
+func TestBalanceOfEmptyResult(t *testing.T) {
+	r := &Result{K: 2, TripleIdx: make([][]int32, 2)}
+	if b := r.Balance(); b != 1 {
+		t.Errorf("empty Balance = %v, want 1", b)
+	}
+}
+
+func TestLDGBeatsRandomOnClusteredGraph(t *testing.T) {
+	g := clusteredGraph(t, 4, 50, 15)
+	randRes, _ := (&Random{Seed: 15}).Partition(g, 4)
+	ldgRes, err := (&LDG{Seed: 15, Passes: 2}).Partition(g, 4)
+	if err != nil {
+		t.Fatalf("LDG: %v", err)
+	}
+	rc, lc := randRes.CutFraction(g), ldgRes.CutFraction(g)
+	if lc >= rc {
+		t.Errorf("LDG cut %.3f not below random %.3f", lc, rc)
+	}
+}
+
+func TestLDGBalance(t *testing.T) {
+	g := dataset.FB15kLike(dataset.Tiny, 16)
+	r, err := (&LDG{Seed: 16}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LDG enforces a hard-ish entity capacity; entity balance within slack.
+	counts := make([]int, 4)
+	for _, p := range r.EntityPart {
+		counts[p]++
+	}
+	ideal := float64(g.NumEntity) / 4
+	for p, c := range counts {
+		if float64(c) > ideal*1.25 {
+			t.Errorf("partition %d holds %d entities, cap ≈ %.0f", p, c, ideal*1.1)
+		}
+	}
+	for e, p := range r.EntityPart {
+		if p < 0 || p >= 4 {
+			t.Fatalf("entity %d unassigned (%d)", e, p)
+		}
+	}
+}
+
+func TestLDGDeterministic(t *testing.T) {
+	g := clusteredGraph(t, 3, 30, 17)
+	a, _ := (&LDG{Seed: 18, Passes: 2}).Partition(g, 3)
+	b, _ := (&LDG{Seed: 18, Passes: 2}).Partition(g, 3)
+	for i := range a.EntityPart {
+		if a.EntityPart[i] != b.EntityPart[i] {
+			t.Fatal("LDG not deterministic")
+		}
+	}
+}
+
+func TestLDGMultiplePassesImproveCut(t *testing.T) {
+	g := clusteredGraph(t, 4, 40, 19)
+	one, _ := (&LDG{Seed: 19, Passes: 1}).Partition(g, 4)
+	three, _ := (&LDG{Seed: 19, Passes: 3}).Partition(g, 4)
+	if three.CutFraction(g) > one.CutFraction(g)+0.02 {
+		t.Errorf("3-pass LDG cut %.3f worse than 1-pass %.3f", three.CutFraction(g), one.CutFraction(g))
+	}
+}
+
+func TestNewLDGByName(t *testing.T) {
+	if p, err := New("ldg", 1); err != nil || p.Name() != "ldg" {
+		t.Errorf("New(ldg) = %v, %v", p, err)
+	}
+}

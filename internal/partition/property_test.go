@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetkg/internal/kg"
+)
+
+// Invariants every partitioner must satisfy on arbitrary graphs:
+//  1. every entity is assigned to a partition in [0, k);
+//  2. the triple assignment conserves all triples exactly once;
+//  3. the edge cut never exceeds the triple count.
+func TestPartitionerInvariants(t *testing.T) {
+	build := func(raw []uint8, k int) (*kg.Graph, int) {
+		if len(raw) < 6 {
+			raw = append(raw, 1, 2, 3, 4, 5, 6)
+		}
+		n := 12
+		var triples []kg.Triple
+		for i := 0; i+2 < len(raw); i += 3 {
+			triples = append(triples, kg.Triple{
+				Head:     kg.EntityID(raw[i] % uint8(n)),
+				Relation: kg.RelationID(raw[i+1] % 3),
+				Tail:     kg.EntityID(raw[i+2] % uint8(n)),
+			})
+		}
+		return kg.MustNewGraph("prop", n, 3, triples), 1 + k%4
+	}
+	for _, name := range []string{"random", "metis", "ldg"} {
+		name := name
+		f := func(raw []uint8, kraw int) bool {
+			g, k := build(raw, abs(kraw))
+			p, err := New(name, 7)
+			if err != nil {
+				return false
+			}
+			r, err := p.Partition(g, k)
+			if err != nil {
+				return false
+			}
+			if len(r.EntityPart) != g.NumEntity {
+				return false
+			}
+			for _, pt := range r.EntityPart {
+				if pt < 0 || int(pt) >= k {
+					return false
+				}
+			}
+			total := 0
+			seen := map[int32]bool{}
+			for _, idx := range r.TripleIdx {
+				for _, ti := range idx {
+					if seen[ti] {
+						return false // triple assigned twice
+					}
+					seen[ti] = true
+					total++
+				}
+			}
+			if total != g.NumTriples() {
+				return false
+			}
+			return r.EdgeCut(g) <= g.NumTriples()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

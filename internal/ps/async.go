@@ -1,0 +1,188 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AsyncServer wraps a Server with the explicit message-queue semantics of
+// the paper's Algorithm 4: pushed gradients enter a bounded queue and a
+// background applier drains it through the optimizer, so workers never
+// block on the AdaGrad update itself (they block only when the queue is
+// full — backpressure). Pulls bypass the queue and read current state,
+// which is exactly the bounded-staleness behavior the cache's convergence
+// analysis (§IV-C) assumes.
+type AsyncServer struct {
+	srv   *Server
+	queue chan pushMsg
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  int
+	applyErr error
+	closed   bool
+	done     chan struct{}
+}
+
+type pushMsg struct {
+	keys []Key
+	vals []float32
+}
+
+// NewAsyncServer starts the applier goroutine with the given queue depth.
+func NewAsyncServer(srv *Server, queueDepth int) *AsyncServer {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	a := &AsyncServer{
+		srv:   srv,
+		queue: make(chan pushMsg, queueDepth),
+		done:  make(chan struct{}),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	go a.applier()
+	return a
+}
+
+func (a *AsyncServer) applier() {
+	defer close(a.done)
+	for msg := range a.queue {
+		err := a.srv.Push(msg.keys, msg.vals)
+		a.mu.Lock()
+		if err != nil && a.applyErr == nil {
+			a.applyErr = err
+		}
+		a.pending--
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	}
+}
+
+// Push enqueues a gradient message. The payload is copied, so callers may
+// reuse their buffers immediately. An error from a previously applied
+// message is reported on the next Push (asynchronous error propagation).
+func (a *AsyncServer) Push(keys []Key, vals []float32) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("ps: async server closed")
+	}
+	if err := a.applyErr; err != nil {
+		a.applyErr = nil
+		a.mu.Unlock()
+		return err
+	}
+	a.pending++
+	a.mu.Unlock()
+
+	k := make([]Key, len(keys))
+	copy(k, keys)
+	v := make([]float32, len(vals))
+	copy(v, vals)
+	a.queue <- pushMsg{keys: k, vals: v}
+	return nil
+}
+
+// Pull drains nothing: it reads the server's current state directly. A
+// worker that wants read-your-writes calls Flush first.
+func (a *AsyncServer) Pull(keys []Key) ([]float32, error) {
+	return a.srv.Pull(keys)
+}
+
+// Flush blocks until every message enqueued before the call is applied,
+// and reports any deferred apply error.
+func (a *AsyncServer) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.pending > 0 {
+		a.cond.Wait()
+	}
+	err := a.applyErr
+	a.applyErr = nil
+	return err
+}
+
+// Pending returns the number of queued-but-unapplied messages.
+func (a *AsyncServer) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending
+}
+
+// Close flushes and stops the applier. Further pushes fail.
+func (a *AsyncServer) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	if err := a.Flush(); err != nil {
+		close(a.queue)
+		<-a.done
+		return err
+	}
+	close(a.queue)
+	<-a.done
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applyErr
+}
+
+// AsyncInProc is an in-process transport routing pushes through per-shard
+// AsyncServers while pulls read directly — the transport-level face of
+// Algorithm 4.
+type AsyncInProc struct {
+	shards []*AsyncServer
+}
+
+// NewAsyncInProc wraps every shard of a cluster with an AsyncServer.
+func NewAsyncInProc(c *Cluster, queueDepth int) *AsyncInProc {
+	t := &AsyncInProc{}
+	for _, srv := range c.Servers {
+		t.shards = append(t.shards, NewAsyncServer(srv, queueDepth))
+	}
+	return t
+}
+
+// Pull implements Transport.
+func (t *AsyncInProc) Pull(shard int, req *PullRequest) (*PullResponse, error) {
+	if shard < 0 || shard >= len(t.shards) {
+		return nil, fmt.Errorf("ps: no shard %d", shard)
+	}
+	vals, err := t.shards[shard].Pull(req.Keys)
+	if err != nil {
+		return nil, err
+	}
+	return &PullResponse{Vals: vals}, nil
+}
+
+// Push implements Transport.
+func (t *AsyncInProc) Push(shard int, req *PushRequest) error {
+	if shard < 0 || shard >= len(t.shards) {
+		return fmt.Errorf("ps: no shard %d", shard)
+	}
+	return t.shards[shard].Push(req.Keys, req.Vals)
+}
+
+// Flush waits for all shards' queues to drain.
+func (t *AsyncInProc) Flush() error {
+	for _, s := range t.shards {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *AsyncInProc) Close() error {
+	var first error
+	for _, s := range t.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

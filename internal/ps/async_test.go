@@ -1,0 +1,145 @@
+package ps
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAsyncServerAppliesAfterFlush(t *testing.T) {
+	c := testCluster(t, 1)
+	a := NewAsyncServer(c.Servers[0], 16)
+	defer a.Close()
+
+	k := EntityKey(0)
+	before, _ := a.Pull([]Key{k})
+	grad := make([]float32, 8)
+	grad[0] = 1
+	for i := 0; i < 5; i++ {
+		if err := a.Push([]Key{k}, grad); err != nil {
+			t.Fatalf("Push %d: %v", i, err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if a.Pending() != 0 {
+		t.Errorf("Pending = %d after Flush", a.Pending())
+	}
+	after, _ := a.Pull([]Key{k})
+	if want := before[0] - 5*0.1; !approx32(after[0], want) { // SGD lr=0.1 × 5 pushes
+		t.Errorf("after 5 async pushes: %v, want %v", after[0], want)
+	}
+}
+
+func TestAsyncServerPayloadCopied(t *testing.T) {
+	c := testCluster(t, 1)
+	a := NewAsyncServer(c.Servers[0], 16)
+	defer a.Close()
+	k := EntityKey(1)
+	before, _ := a.Pull([]Key{k})
+	grad := make([]float32, 8)
+	grad[0] = 1
+	if err := a.Push([]Key{k}, grad); err != nil {
+		t.Fatal(err)
+	}
+	grad[0] = 1e9 // mutate after Push; must not affect the queued message
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := a.Pull([]Key{k})
+	if !approx32(after[0], before[0]-0.1) {
+		t.Errorf("queued payload not isolated from caller buffer: %v", after[0])
+	}
+}
+
+func TestAsyncServerErrorPropagation(t *testing.T) {
+	c := testCluster(t, 2) // shard 0 owns even entities only
+	a := NewAsyncServer(c.Servers[0], 4)
+	if err := a.Push([]Key{EntityKey(1)}, make([]float32, 8)); err != nil {
+		t.Fatalf("enqueue itself should succeed: %v", err)
+	}
+	if err := a.Flush(); err == nil {
+		t.Error("apply error not surfaced by Flush")
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("Close after drained error: %v", err)
+	}
+	if err := a.Push([]Key{EntityKey(0)}, make([]float32, 8)); err == nil {
+		t.Error("push after Close accepted")
+	}
+}
+
+func TestAsyncServerConcurrentPushers(t *testing.T) {
+	c := testCluster(t, 1)
+	a := NewAsyncServer(c.Servers[0], 8)
+	k := EntityKey(2)
+	before, _ := a.Pull([]Key{k})
+	grad := make([]float32, 8)
+	grad[0] = 0.01
+	var wg sync.WaitGroup
+	const pushers, each = 4, 50
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := a.Push([]Key{k}, grad); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.Servers[0].Pull([]Key{k})
+	want := before[0] - pushers*each*0.001 // SGD lr=0.1 × grad 0.01
+	if !approx32(after[0], want) {
+		t.Errorf("after concurrent pushes: %v, want %v", after[0], want)
+	}
+}
+
+func TestAsyncInProcTransport(t *testing.T) {
+	c := testCluster(t, 2)
+	tr := NewAsyncInProc(c, 8)
+	cl, err := NewClient(0, c, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{EntityKey(0), EntityKey(1), RelationKey(0)}
+	rows := make(map[Key][]float32)
+	if err := cl.Pull(keys, rows); err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	grad := map[Key][]float32{EntityKey(0): make([]float32, 8)}
+	grad[EntityKey(0)][0] = 1
+	if err := cl.Push(grad); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rows2 := make(map[Key][]float32)
+	if err := cl.Pull([]Key{EntityKey(0)}, rows2); err != nil {
+		t.Fatal(err)
+	}
+	if rows2[EntityKey(0)][0] == rows[EntityKey(0)][0] {
+		t.Error("async push not applied after Flush")
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := tr.Pull(9, &PullRequest{}); err == nil {
+		t.Error("bad shard accepted")
+	}
+}
+
+func approx32(a, b float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-4
+}

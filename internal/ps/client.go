@@ -1,0 +1,156 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+
+	"hetkg/internal/netsim"
+)
+
+// Client is a worker's view of the parameter server. It routes each key to
+// its owning shard, distinguishes localPull/localPush (the target shard is
+// co-located with this worker's machine) from remotePull/remotePush, and
+// meters the traffic of both classes for the netsim cost model — the split
+// the paper's co-located PS design exists to exploit (§IV-A, §V).
+type Client struct {
+	machine int
+	place   *Placement
+	tr      Transport
+	meter   *netsim.Meter
+	entDim  int
+	relDim  int
+}
+
+// NewClient builds a client for a worker sitting on the given machine.
+// meter may be nil to disable traffic accounting.
+func NewClient(machine int, c *Cluster, tr Transport, meter *netsim.Meter) (*Client, error) {
+	if machine < 0 || machine >= c.Place.NumMachines() {
+		return nil, fmt.Errorf("ps: machine %d out of range [0,%d)", machine, c.Place.NumMachines())
+	}
+	return &Client{
+		machine: machine,
+		place:   c.Place,
+		tr:      tr,
+		meter:   meter,
+		entDim:  c.EntityDim(),
+		relDim:  c.RelationDim(),
+	}, nil
+}
+
+// Machine returns the client's machine index.
+func (c *Client) Machine() int { return c.machine }
+
+// Meter returns the client's traffic meter (nil if disabled).
+func (c *Client) Meter() *netsim.Meter { return c.meter }
+
+// Width returns the row width for key k.
+func (c *Client) Width(k Key) int {
+	if k.IsRelation() {
+		return c.relDim
+	}
+	return c.entDim
+}
+
+// Pull fetches the rows for keys into dst, allocating a fresh slice per
+// key. Keys are grouped per shard into one RPC each (batched pulls, as in
+// DGL-KE's KVStore).
+func (c *Client) Pull(keys []Key, dst map[Key][]float32) error {
+	groups := c.groupByShard(keys)
+	for shard, ks := range groups {
+		if len(ks) == 0 {
+			continue
+		}
+		resp, err := c.tr.Pull(shard, &PullRequest{Keys: ks})
+		if err != nil {
+			return fmt.Errorf("ps: pull from shard %d: %w", shard, err)
+		}
+		c.record(shard, c.pullWireBytes(len(ks), len(resp.Vals)))
+		off := 0
+		for _, k := range ks {
+			w := c.Width(k)
+			if off+w > len(resp.Vals) {
+				return fmt.Errorf("ps: short pull response from shard %d", shard)
+			}
+			row := make([]float32, w)
+			copy(row, resp.Vals[off:off+w])
+			dst[k] = row
+			off += w
+		}
+	}
+	return nil
+}
+
+// Push sends the gradient rows in grads to their owning shards, one RPC per
+// shard, keys sorted for determinism.
+func (c *Client) Push(grads map[Key][]float32) error {
+	if len(grads) == 0 {
+		return nil
+	}
+	keys := make([]Key, 0, len(grads))
+	for k := range grads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	groups := c.groupByShard(keys)
+	for shard, ks := range groups {
+		if len(ks) == 0 {
+			continue
+		}
+		total := 0
+		for _, k := range ks {
+			total += len(grads[k])
+		}
+		vals := make([]float32, 0, total)
+		for _, k := range ks {
+			g := grads[k]
+			if len(g) != c.Width(k) {
+				return fmt.Errorf("ps: gradient for %v has width %d, want %d", k, len(g), c.Width(k))
+			}
+			vals = append(vals, g...)
+		}
+		if err := c.tr.Push(shard, &PushRequest{Keys: ks, Vals: vals}); err != nil {
+			return fmt.Errorf("ps: push to shard %d: %w", shard, err)
+		}
+		c.record(shard, c.pushWireBytes(len(ks), len(vals)))
+	}
+	return nil
+}
+
+// groupByShard partitions keys by owning shard, preserving order within a
+// shard.
+func (c *Client) groupByShard(keys []Key) map[int][]Key {
+	groups := make(map[int][]Key, c.place.NumMachines())
+	for _, k := range keys {
+		s := c.place.Shard(k)
+		groups[s] = append(groups[s], k)
+	}
+	return groups
+}
+
+// pullWireBytes prices a pull round trip, deferring to the transport's own
+// accounting when it compresses the payload.
+func (c *Client) pullWireBytes(numKeys, numVals int) int64 {
+	if sz, ok := c.tr.(Sizer); ok {
+		return sz.PullRequestWireBytes(numKeys) + sz.PullResponseWireBytes(numVals)
+	}
+	return PullRequestBytes(numKeys) + PullResponseBytes(numVals)
+}
+
+// pushWireBytes prices a push request.
+func (c *Client) pushWireBytes(numKeys, numVals int) int64 {
+	if sz, ok := c.tr.(Sizer); ok {
+		return sz.PushRequestWireBytes(numKeys, numVals)
+	}
+	return PushRequestBytes(numKeys, numVals)
+}
+
+func (c *Client) record(shard int, bytes int64) {
+	if c.meter == nil {
+		return
+	}
+	if shard == c.machine {
+		c.meter.RecordLocal(bytes)
+	} else {
+		c.meter.RecordRemote(bytes)
+	}
+}

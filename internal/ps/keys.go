@@ -1,0 +1,81 @@
+// Package ps implements the sharded parameter server of the HET-KG /
+// DGL-KE architecture: embedding rows live on the server shard co-located
+// with the machine that owns them (co-located PS, §IV-A); workers pull rows
+// and push gradients through localPull/localPush (shared memory) or
+// remotePull/remotePush (the network), and the server applies gradients with
+// server-side AdaGrad (Algorithm 4).
+package ps
+
+import (
+	"fmt"
+
+	"hetkg/internal/kg"
+)
+
+// Key identifies one embedding row in the global key space. Entities and
+// relations share the space, distinguished by a high bit, so caches, pulls
+// and pushes can mix both kinds in a single request.
+type Key uint64
+
+const relationBit Key = 1 << 62
+
+// EntityKey returns the key of an entity embedding row.
+func EntityKey(e kg.EntityID) Key { return Key(uint32(e)) }
+
+// RelationKey returns the key of a relation embedding row.
+func RelationKey(r kg.RelationID) Key { return relationBit | Key(uint32(r)) }
+
+// IsRelation reports whether k identifies a relation row.
+func (k Key) IsRelation() bool { return k&relationBit != 0 }
+
+// Entity returns the entity id; the result is meaningless for relation keys.
+func (k Key) Entity() kg.EntityID { return kg.EntityID(k &^ relationBit) }
+
+// Relation returns the relation id; meaningless for entity keys.
+func (k Key) Relation() kg.RelationID { return kg.RelationID(k &^ relationBit) }
+
+// String renders "e:N" or "r:N".
+func (k Key) String() string {
+	if k.IsRelation() {
+		return fmt.Sprintf("r:%d", uint64(k&^relationBit))
+	}
+	return fmt.Sprintf("e:%d", uint64(k))
+}
+
+// Placement maps keys to the server shard (machine) that owns them.
+// Entities follow the graph partitioner's assignment (embedding co-located
+// with the subgraph that uses it most); relations are striped round-robin,
+// as relation usage has no spatial locality.
+type Placement struct {
+	numMachines int
+	entityPart  []int32
+}
+
+// NewPlacement builds a placement for numMachines shards. entityPart is the
+// partitioner's per-entity assignment; every value must be in
+// [0, numMachines).
+func NewPlacement(numMachines int, entityPart []int32) (*Placement, error) {
+	if numMachines < 1 {
+		return nil, fmt.Errorf("ps: numMachines %d < 1", numMachines)
+	}
+	for e, p := range entityPart {
+		if p < 0 || int(p) >= numMachines {
+			return nil, fmt.Errorf("ps: entity %d assigned to invalid machine %d of %d", e, p, numMachines)
+		}
+	}
+	return &Placement{numMachines: numMachines, entityPart: entityPart}, nil
+}
+
+// NumMachines returns the shard count.
+func (p *Placement) NumMachines() int { return p.numMachines }
+
+// NumEntities returns the size of the placed entity universe.
+func (p *Placement) NumEntities() int { return len(p.entityPart) }
+
+// Shard returns the machine owning key k.
+func (p *Placement) Shard(k Key) int {
+	if k.IsRelation() {
+		return int(uint32(k.Relation())) % p.numMachines
+	}
+	return int(p.entityPart[k.Entity()])
+}

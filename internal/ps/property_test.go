@@ -1,0 +1,88 @@
+package ps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetkg/internal/kg"
+)
+
+// Key-space invariants: entity and relation keys round-trip and never
+// collide across kinds for any 32-bit id.
+func TestKeySpaceProperty(t *testing.T) {
+	f := func(e uint32, r uint32) bool {
+		ek := EntityKey(kg.EntityID(e))
+		rk := RelationKey(kg.RelationID(r))
+		if ek.IsRelation() || !rk.IsRelation() {
+			return false
+		}
+		if ek == rk {
+			return false
+		}
+		return uint32(ek.Entity()) == e && uint32(rk.Relation()) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Placement invariants: every key maps to a shard in range, and entity
+// placement agrees with the partition vector.
+func TestPlacementProperty(t *testing.T) {
+	f := func(partRaw []uint8, machinesRaw uint8, relID uint16) bool {
+		machines := 1 + int(machinesRaw%8)
+		part := make([]int32, len(partRaw)+1)
+		for i := range part {
+			if i < len(partRaw) {
+				part[i] = int32(int(partRaw[i]) % machines)
+			}
+		}
+		p, err := NewPlacement(machines, part)
+		if err != nil {
+			return false
+		}
+		for e := range part {
+			s := p.Shard(EntityKey(kg.EntityID(e)))
+			if s != int(part[e]) {
+				return false
+			}
+		}
+		s := p.Shard(RelationKey(kg.RelationID(relID)))
+		return s >= 0 && s < machines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A pull after any sequence of pushes returns rows of the declared width,
+// and pushing zero gradients never changes a row.
+func TestZeroPushIsIdentity(t *testing.T) {
+	c := testCluster(t, 2)
+	cl, _ := NewClient(0, c, NewInProc(c), nil)
+	keys := []Key{EntityKey(0), EntityKey(1), RelationKey(0)}
+	before := make(map[Key][]float32)
+	if err := cl.Pull(keys, before); err != nil {
+		t.Fatal(err)
+	}
+	zero := map[Key][]float32{}
+	for _, k := range keys {
+		zero[k] = make([]float32, 8)
+	}
+	// SGD with zero gradient is exact identity (AdaGrad would also be,
+	// modulo its accumulator; the test cluster uses SGD).
+	if err := cl.Push(zero); err != nil {
+		t.Fatal(err)
+	}
+	after := make(map[Key][]float32)
+	if err := cl.Pull(keys, after); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		for i := range before[k] {
+			if before[k][i] != after[k][i] {
+				t.Fatalf("zero push changed %v[%d]", k, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package ps
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"hetkg/internal/kg"
+	"hetkg/internal/netsim"
+	"hetkg/internal/opt"
+)
+
+func TestKeySpace(t *testing.T) {
+	e := EntityKey(42)
+	r := RelationKey(42)
+	if e == r {
+		t.Fatal("entity and relation keys collide")
+	}
+	if e.IsRelation() {
+		t.Error("entity key claims to be a relation")
+	}
+	if !r.IsRelation() {
+		t.Error("relation key does not claim to be a relation")
+	}
+	if e.Entity() != 42 || r.Relation() != 42 {
+		t.Error("key round trip failed")
+	}
+	if e.String() != "e:42" || r.String() != "r:42" {
+		t.Errorf("String() = %q, %q", e.String(), r.String())
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	part := []int32{0, 1, 0, 1}
+	p, err := NewPlacement(2, part)
+	if err != nil {
+		t.Fatalf("NewPlacement: %v", err)
+	}
+	if p.Shard(EntityKey(1)) != 1 || p.Shard(EntityKey(2)) != 0 {
+		t.Error("entity placement does not follow partition")
+	}
+	if p.Shard(RelationKey(0)) != 0 || p.Shard(RelationKey(1)) != 1 || p.Shard(RelationKey(2)) != 0 {
+		t.Error("relation striping wrong")
+	}
+	if _, err := NewPlacement(0, part); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := NewPlacement(2, []int32{5}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}
+
+func testCluster(t *testing.T, machines int) *Cluster {
+	t.Helper()
+	part := make([]int32, 20)
+	for i := range part {
+		part[i] = int32(i % machines)
+	}
+	c, err := NewCluster(ClusterConfig{
+		NumMachines:  machines,
+		EntityPart:   part,
+		NumRelations: 5,
+		EntityDim:    8,
+		RelationDim:  8,
+		NewOptimizer: func() opt.Optimizer { return &opt.SGD{LR: 0.1} },
+		Seed:         99,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func TestClusterInitDeterministicAcrossShardCounts(t *testing.T) {
+	c1 := testCluster(t, 1)
+	c2 := testCluster(t, 4)
+	e1, r1, err := c1.Gather()
+	if err != nil {
+		t.Fatalf("Gather: %v", err)
+	}
+	e2, r2, err := c2.Gather()
+	if err != nil {
+		t.Fatalf("Gather: %v", err)
+	}
+	for i := range e1.Data {
+		if e1.Data[i] != e2.Data[i] {
+			t.Fatalf("entity init differs between 1 and 4 machines at %d", i)
+		}
+	}
+	for i := range r1.Data {
+		if r1.Data[i] != r2.Data[i] {
+			t.Fatalf("relation init differs between 1 and 4 machines at %d", i)
+		}
+	}
+}
+
+func TestServerPullPush(t *testing.T) {
+	c := testCluster(t, 1)
+	srv := c.Servers[0]
+	k := EntityKey(3)
+	before, err := srv.Pull([]Key{k})
+	if err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	grad := make([]float32, 8)
+	grad[0] = 1
+	if err := srv.Push([]Key{k}, grad); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	after, _ := srv.Pull([]Key{k})
+	if after[0] != before[0]-0.1 { // SGD lr=0.1
+		t.Errorf("after push: %v, want %v", after[0], before[0]-0.1)
+	}
+	for i := 1; i < 8; i++ {
+		if after[i] != before[i] {
+			t.Errorf("untouched coordinate %d changed", i)
+		}
+	}
+}
+
+func TestServerRejectsUnknownKey(t *testing.T) {
+	c := testCluster(t, 2)
+	// Shard 0 owns even entities only.
+	if _, err := c.Servers[0].Pull([]Key{EntityKey(1)}); err == nil {
+		t.Error("pull of unowned key accepted")
+	}
+	if err := c.Servers[0].Push([]Key{EntityKey(1)}, make([]float32, 8)); err == nil {
+		t.Error("push to unowned key accepted")
+	}
+}
+
+func TestServerRejectsShortPayload(t *testing.T) {
+	c := testCluster(t, 1)
+	if err := c.Servers[0].Push([]Key{EntityKey(0)}, make([]float32, 3)); err == nil {
+		t.Error("short payload accepted")
+	}
+	if err := c.Servers[0].Push([]Key{EntityKey(0)}, make([]float32, 12)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestServerDropsNonFiniteGradients(t *testing.T) {
+	c := testCluster(t, 1)
+	srv := c.Servers[0]
+	k := EntityKey(0)
+	before, _ := srv.Pull([]Key{k})
+	bad := make([]float32, 8)
+	bad[0] = float32(math.Inf(1))
+	if err := srv.Push([]Key{k}, bad); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	after, _ := srv.Pull([]Key{k})
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatal("non-finite gradient was applied")
+		}
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	c := testCluster(t, 1)
+	srv := c.Servers[0]
+	k := EntityKey(5)
+	row := make([]float32, 8)
+	row[7] = 3.5
+	if err := srv.SetRow(k, row); err != nil {
+		t.Fatalf("SetRow: %v", err)
+	}
+	got, _ := srv.Pull([]Key{k})
+	if got[7] != 3.5 {
+		t.Errorf("SetRow not visible: %v", got)
+	}
+	if err := srv.SetRow(k, make([]float32, 3)); err == nil {
+		t.Error("wrong-width SetRow accepted")
+	}
+}
+
+func TestClientRoutesAndMeters(t *testing.T) {
+	c := testCluster(t, 2)
+	var meter netsim.Meter
+	cl, err := NewClient(0, c, NewInProc(c), &meter)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	keys := []Key{EntityKey(0), EntityKey(1), EntityKey(2), RelationKey(0), RelationKey(1)}
+	dst := make(map[Key][]float32)
+	if err := cl.Pull(keys, dst); err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	if len(dst) != 5 {
+		t.Fatalf("pulled %d rows, want 5", len(dst))
+	}
+	for k, row := range dst {
+		if len(row) != 8 {
+			t.Errorf("row %v has width %d", k, len(row))
+		}
+	}
+	s := meter.Snapshot()
+	// Keys split across both shards: 1 local RPC (shard 0) + 1 remote (shard 1).
+	if s.LocalMsgs != 1 || s.RemoteMsgs != 1 {
+		t.Errorf("meter = %+v, want 1 local + 1 remote pull", s)
+	}
+	grads := map[Key][]float32{
+		EntityKey(0): make([]float32, 8),
+		EntityKey(1): make([]float32, 8),
+	}
+	if err := cl.Push(grads); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	s = meter.Snapshot()
+	if s.LocalMsgs != 2 || s.RemoteMsgs != 2 {
+		t.Errorf("meter after push = %+v, want 2 local + 2 remote", s)
+	}
+	if s.RemoteBytes == 0 || s.LocalBytes == 0 {
+		t.Error("byte accounting missing")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	c := testCluster(t, 2)
+	if _, err := NewClient(5, c, NewInProc(c), nil); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	cl, _ := NewClient(0, c, NewInProc(c), nil)
+	if err := cl.Push(map[Key][]float32{EntityKey(0): make([]float32, 3)}); err == nil {
+		t.Error("wrong-width gradient accepted")
+	}
+	if err := cl.Push(nil); err != nil {
+		t.Errorf("empty push should be a no-op, got %v", err)
+	}
+}
+
+func TestPullModifyPushIsolation(t *testing.T) {
+	// Rows returned by Pull must be copies: mutating them must not change
+	// server state without a Push.
+	c := testCluster(t, 1)
+	cl, _ := NewClient(0, c, NewInProc(c), nil)
+	dst := make(map[Key][]float32)
+	k := EntityKey(0)
+	if err := cl.Pull([]Key{k}, dst); err != nil {
+		t.Fatal(err)
+	}
+	dst[k][0] = 12345
+	dst2 := make(map[Key][]float32)
+	if err := cl.Pull([]Key{k}, dst2); err != nil {
+		t.Fatal(err)
+	}
+	if dst2[k][0] == 12345 {
+		t.Error("Pull returned a reference into server storage")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := testCluster(t, 2)
+	tr := NewInProc(c)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := NewClient(w%2, c, tr, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			keys := []Key{EntityKey(kg.EntityID(w)), RelationKey(0)}
+			for i := 0; i < 100; i++ {
+				dst := make(map[Key][]float32)
+				if err := cl.Pull(keys, dst); err != nil {
+					t.Error(err)
+					return
+				}
+				g := map[Key][]float32{keys[0]: make([]float32, 8)}
+				g[keys[0]][0] = 0.001
+				if err := cl.Push(g); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestTCPTransportIntegration(t *testing.T) {
+	c := testCluster(t, 2)
+	var addrs []string
+	var listeners []net.Listener
+	for _, srv := range c.Servers {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+		go ServeTCP(l, srv)
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	tr, err := DialTCP(addrs)
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer tr.Close()
+
+	cl, _ := NewClient(0, c, tr, nil)
+	keys := []Key{EntityKey(0), EntityKey(1), RelationKey(3)}
+	dst := make(map[Key][]float32)
+	if err := cl.Pull(keys, dst); err != nil {
+		t.Fatalf("TCP Pull: %v", err)
+	}
+	if len(dst) != 3 {
+		t.Fatalf("pulled %d rows over TCP, want 3", len(dst))
+	}
+	// Push a gradient and confirm it took effect.
+	before := dst[EntityKey(0)][0]
+	grad := make([]float32, 8)
+	grad[0] = 1
+	if err := cl.Push(map[Key][]float32{EntityKey(0): grad}); err != nil {
+		t.Fatalf("TCP Push: %v", err)
+	}
+	dst2 := make(map[Key][]float32)
+	if err := cl.Pull([]Key{EntityKey(0)}, dst2); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst2[EntityKey(0)][0]; got != before-0.1 {
+		t.Errorf("TCP push not applied: %v, want %v", got, before-0.1)
+	}
+	// Error propagation over the wire.
+	if _, err := tr.Pull(0, &PullRequest{Keys: []Key{EntityKey(1)}}); err == nil {
+		t.Error("unowned key over TCP did not error")
+	}
+}
+
+func TestTCPAgreesWithInProc(t *testing.T) {
+	c := testCluster(t, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ServeTCP(l, c.Servers[0])
+	tcp, err := DialTCP([]string{l.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	inproc := NewInProc(c)
+	req := &PullRequest{Keys: []Key{EntityKey(7), RelationKey(2)}}
+	a, err := tcp.Pull(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inproc.Pull(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Vals) != len(b.Vals) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Vals), len(b.Vals))
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] {
+			t.Fatalf("value %d differs: %v vs %v", i, a.Vals[i], b.Vals[i])
+		}
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if PullRequestBytes(10) != 16+80 {
+		t.Error("PullRequestBytes wrong")
+	}
+	if PullResponseBytes(100) != 16+400 {
+		t.Error("PullResponseBytes wrong")
+	}
+	if PushRequestBytes(10, 100) != 16+80+400 {
+		t.Error("PushRequestBytes wrong")
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	base := ClusterConfig{
+		NumMachines:  1,
+		EntityPart:   []int32{0},
+		NumRelations: 1,
+		EntityDim:    4,
+		RelationDim:  4,
+		NewOptimizer: func() opt.Optimizer { return &opt.SGD{LR: 0.1} },
+	}
+	bad := base
+	bad.NumMachines = 0
+	if _, err := NewCluster(bad); err == nil {
+		t.Error("0 machines accepted")
+	}
+	bad = base
+	bad.NumRelations = 0
+	if _, err := NewCluster(bad); err == nil {
+		t.Error("0 relations accepted")
+	}
+	bad = base
+	bad.NewOptimizer = nil
+	if _, err := NewCluster(bad); err == nil {
+		t.Error("nil optimizer accepted")
+	}
+	bad = base
+	bad.EntityDim = 0
+	if _, err := NewCluster(bad); err == nil {
+		t.Error("0 dim accepted")
+	}
+}
+
+func TestNewClusterShardMatchesFullCluster(t *testing.T) {
+	part := make([]int32, 20)
+	for i := range part {
+		part[i] = int32(i % 3)
+	}
+	cfg := ClusterConfig{
+		NumMachines:  3,
+		EntityPart:   part,
+		NumRelations: 5,
+		EntityDim:    8,
+		RelationDim:  8,
+		NewOptimizer: func() opt.Optimizer { return &opt.SGD{LR: 0.1} },
+		Seed:         99,
+	}
+	full, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		shard, err := NewClusterShard(cfg, m)
+		if err != nil {
+			t.Fatalf("NewClusterShard(%d): %v", m, err)
+		}
+		if shard.NumRows() != full.Servers[m].NumRows() {
+			t.Fatalf("shard %d has %d rows, full cluster's has %d",
+				m, shard.NumRows(), full.Servers[m].NumRows())
+		}
+		for _, k := range full.Servers[m].Keys() {
+			want, _ := full.Servers[m].Pull([]Key{k})
+			got, err := shard.Pull([]Key{k})
+			if err != nil {
+				t.Fatalf("shard %d missing %v", m, k)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shard %d row %v differs at %d", m, k, i)
+				}
+			}
+		}
+	}
+	if _, err := NewClusterShard(cfg, 3); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+}
+
+func TestGatherViaMatchesDirectGather(t *testing.T) {
+	c := testCluster(t, 2)
+	de, dr, err := c.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, vr, err := c.GatherVia(NewInProc(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range de.Data {
+		if de.Data[i] != ve.Data[i] {
+			t.Fatal("GatherVia entities differ from direct Gather")
+		}
+	}
+	for i := range dr.Data {
+		if dr.Data[i] != vr.Data[i] {
+			t.Fatal("GatherVia relations differ from direct Gather")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ps
+
+import "fmt"
+
+// Sizer lets a transport report its own wire sizes to the traffic meter.
+// Transports that compress the payload implement it so the netsim cost
+// model prices what would actually cross the link.
+type Sizer interface {
+	PullRequestWireBytes(numKeys int) int64
+	PullResponseWireBytes(numVals int) int64
+	PushRequestWireBytes(numKeys, numVals int) int64
+}
+
+// QuantizedTransport wraps another transport with symmetric 8-bit linear
+// quantization of every embedding and gradient payload — a standard
+// communication-compression extension of the paper's theme: where HET-KG
+// removes *whole rows* from the wire via caching, quantization shrinks the
+// rows that still must travel by 4×.
+//
+// The quantization is really applied (values round-trip through int8 with a
+// per-row scale), so its accuracy cost is measured, not assumed. Each row
+// of w values costs w bytes plus 4 bytes of scale on the wire.
+type QuantizedTransport struct {
+	inner Transport
+	// widthOf resolves a key's row width for per-row framing.
+	widthOf func(Key) int
+}
+
+// NewQuantized wraps inner with 8-bit payload quantization for a cluster's
+// key widths.
+func NewQuantized(inner Transport, c *Cluster) *QuantizedTransport {
+	return &QuantizedTransport{
+		inner: inner,
+		widthOf: func(k Key) int {
+			if k.IsRelation() {
+				return c.RelationDim()
+			}
+			return c.EntityDim()
+		},
+	}
+}
+
+// quantizeRows applies the int8 round trip in place, row by row.
+func (t *QuantizedTransport) quantizeRows(keys []Key, vals []float32) error {
+	off := 0
+	for _, k := range keys {
+		w := t.widthOf(k)
+		if off+w > len(vals) {
+			return fmt.Errorf("ps: quantize payload short at %v", k)
+		}
+		quantizeRow(vals[off : off+w])
+		off += w
+	}
+	return nil
+}
+
+// quantizeRow rounds every value to the nearest of 255 levels spanning the
+// row's [-maxAbs, +maxAbs] range (symmetric linear quantization).
+func quantizeRow(row []float32) {
+	var maxAbs float32
+	for _, v := range row {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		return
+	}
+	scale := maxAbs / 127
+	for i, v := range row {
+		q := int8(v/scale + sign(v)*0.5) // round half away from zero
+		row[i] = float32(q) * scale
+	}
+}
+
+func sign(v float32) float32 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Pull implements Transport: values are quantized as they would be by the
+// sending shard.
+func (t *QuantizedTransport) Pull(shard int, req *PullRequest) (*PullResponse, error) {
+	resp, err := t.inner.Pull(shard, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.quantizeRows(req.Keys, resp.Vals); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Push implements Transport: gradients are quantized before they reach the
+// shard's optimizer.
+func (t *QuantizedTransport) Push(shard int, req *PushRequest) error {
+	if err := t.quantizeRows(req.Keys, req.Vals); err != nil {
+		return err
+	}
+	return t.inner.Push(shard, req)
+}
+
+// Close implements Transport.
+func (t *QuantizedTransport) Close() error { return t.inner.Close() }
+
+// Wire sizes: 1 byte per value, 4 bytes of scale per row (approximated as
+// 4 bytes per key), keys and framing unchanged.
+
+// PullRequestWireBytes implements Sizer.
+func (t *QuantizedTransport) PullRequestWireBytes(numKeys int) int64 {
+	return PullRequestBytes(numKeys)
+}
+
+// PullResponseWireBytes implements Sizer.
+func (t *QuantizedTransport) PullResponseWireBytes(numVals int) int64 {
+	return msgHeaderBytes + int64(numVals) // 1 byte/value; scales folded into framing
+}
+
+// PushRequestWireBytes implements Sizer.
+func (t *QuantizedTransport) PushRequestWireBytes(numKeys, numVals int) int64 {
+	return msgHeaderBytes + 8*int64(numKeys) + int64(numVals)
+}

@@ -1,0 +1,133 @@
+package ps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetkg/internal/netsim"
+)
+
+func TestQuantizeRowErrorBound(t *testing.T) {
+	f := func(raw []float32) bool {
+		row := make([]float32, len(raw))
+		var maxAbs float64
+		for i, v := range raw {
+			f64 := float64(v)
+			if math.IsNaN(f64) || math.IsInf(f64, 0) {
+				f64 = 0
+			}
+			for math.Abs(f64) > 1e6 {
+				f64 /= 1e6
+			}
+			row[i] = float32(f64)
+			if a := math.Abs(f64); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		orig := make([]float32, len(row))
+		copy(orig, row)
+		quantizeRow(row)
+		// Error per element is bounded by half the quantization step.
+		step := maxAbs / 127
+		for i := range row {
+			if math.Abs(float64(row[i]-orig[i])) > step/2+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeRowPreservesZeroAndExtremes(t *testing.T) {
+	row := []float32{0, 127, -127, 63.5}
+	quantizeRow(row)
+	if row[0] != 0 {
+		t.Errorf("zero changed: %v", row[0])
+	}
+	if row[1] != 127 || row[2] != -127 {
+		t.Errorf("extremes changed: %v %v", row[1], row[2])
+	}
+	zero := []float32{0, 0}
+	quantizeRow(zero) // must not divide by zero
+	if zero[0] != 0 {
+		t.Error("all-zero row corrupted")
+	}
+}
+
+func TestQuantizedTransportRoundTrip(t *testing.T) {
+	c := testCluster(t, 2)
+	qt := NewQuantized(NewInProc(c), c)
+	var meter netsim.Meter
+	cl, err := NewClient(0, c, qt, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{EntityKey(0), EntityKey(1), RelationKey(0)}
+	rows := make(map[Key][]float32)
+	if err := cl.Pull(keys, rows); err != nil {
+		t.Fatalf("quantized Pull: %v", err)
+	}
+	// Values must be close to, but generally not identical with, the
+	// exact rows.
+	exact := make(map[Key][]float32)
+	exactCl, _ := NewClient(0, c, NewInProc(c), nil)
+	if err := exactCl.Pull(keys, exact); err != nil {
+		t.Fatal(err)
+	}
+	maxDiff := 0.0
+	for _, k := range keys {
+		for i := range rows[k] {
+			d := math.Abs(float64(rows[k][i] - exact[k][i]))
+			if d > maxDiff {
+				maxDiff = d
+			}
+			if d > 0.01 {
+				t.Errorf("quantization error %v too large at %v[%d]", d, k, i)
+			}
+		}
+	}
+	if maxDiff == 0 {
+		t.Log("quantization was lossless on this data (possible but unusual)")
+	}
+	// Push path works and applies a (quantized) gradient.
+	grad := map[Key][]float32{EntityKey(0): {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}}
+	if err := cl.Push(grad); err != nil {
+		t.Fatalf("quantized Push: %v", err)
+	}
+	after := make(map[Key][]float32)
+	_ = exactCl.Pull([]Key{EntityKey(0)}, after)
+	if after[EntityKey(0)][0] == exact[EntityKey(0)][0] {
+		t.Error("quantized push had no effect")
+	}
+}
+
+func TestQuantizedMeteringSavesBytes(t *testing.T) {
+	c := testCluster(t, 2)
+	keys := []Key{EntityKey(0), EntityKey(2), RelationKey(0), RelationKey(2)}
+
+	var exactMeter, qMeter netsim.Meter
+	exactCl, _ := NewClient(0, c, NewInProc(c), &exactMeter)
+	qCl, _ := NewClient(0, c, NewQuantized(NewInProc(c), c), &qMeter)
+
+	rows := make(map[Key][]float32)
+	if err := exactCl.Pull(keys, rows); err != nil {
+		t.Fatal(err)
+	}
+	rows2 := make(map[Key][]float32)
+	if err := qCl.Pull(keys, rows2); err != nil {
+		t.Fatal(err)
+	}
+	eb := exactMeter.Snapshot().LocalBytes + exactMeter.Snapshot().RemoteBytes
+	qb := qMeter.Snapshot().LocalBytes + qMeter.Snapshot().RemoteBytes
+	if qb >= eb {
+		t.Errorf("quantized transport metered %d bytes, exact %d — no saving", qb, eb)
+	}
+	// Roughly 4x fewer payload bytes: allow a loose band given framing.
+	if float64(qb) > 0.6*float64(eb) {
+		t.Errorf("saving too small: quantized %d vs exact %d", qb, eb)
+	}
+}

@@ -1,0 +1,170 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hetkg/internal/opt"
+)
+
+// Server is one parameter-server shard. It owns a subset of the embedding
+// rows and the optimizer state for them, and applies pushed gradients
+// immediately (the asynchronous "message queue → AdaGrad" path of
+// Algorithm 4 collapses to a locked apply in-process).
+type Server struct {
+	machine int
+	entDim  int
+	relDim  int
+
+	mu    sync.RWMutex
+	rows  map[Key][]float32
+	optim opt.Optimizer
+}
+
+// ServerConfig parameterizes shard construction.
+type ServerConfig struct {
+	// Machine is this shard's machine index.
+	Machine int
+	// EntityDim and RelationDim are the row widths (they differ for models
+	// like TransH whose relations pack extra parameters).
+	EntityDim, RelationDim int
+	// Optimizer applies pushed gradients (AdaGrad in the paper).
+	Optimizer opt.Optimizer
+}
+
+// NewServer builds an empty shard.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.EntityDim <= 0 || cfg.RelationDim <= 0 {
+		return nil, fmt.Errorf("ps: non-positive dims %d/%d", cfg.EntityDim, cfg.RelationDim)
+	}
+	if cfg.Optimizer == nil {
+		return nil, fmt.Errorf("ps: nil optimizer")
+	}
+	return &Server{
+		machine: cfg.Machine,
+		entDim:  cfg.EntityDim,
+		relDim:  cfg.RelationDim,
+		rows:    make(map[Key][]float32),
+		optim:   cfg.Optimizer,
+	}, nil
+}
+
+// Machine returns the shard's machine index.
+func (s *Server) Machine() int { return s.machine }
+
+// Width returns the row width for key k.
+func (s *Server) Width(k Key) int {
+	if k.IsRelation() {
+		return s.relDim
+	}
+	return s.entDim
+}
+
+// InitRow installs an initial value for a row this shard owns. It is called
+// once per owned key before training starts.
+func (s *Server) InitRow(k Key, row []float32) error {
+	if len(row) != s.Width(k) {
+		return fmt.Errorf("ps: row %v has width %d, want %d", k, len(row), s.Width(k))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]float32, len(row))
+	copy(cp, row)
+	s.rows[k] = cp
+	return nil
+}
+
+// NumRows returns how many rows the shard owns.
+func (s *Server) NumRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// Pull copies the requested rows, concatenated in key order, into a fresh
+// buffer. Unknown keys are an error: they indicate a placement bug.
+func (s *Server) Pull(keys []Key) ([]float32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, k := range keys {
+		total += s.Width(k)
+	}
+	out := make([]float32, 0, total)
+	for _, k := range keys {
+		row, ok := s.rows[k]
+		if !ok {
+			return nil, fmt.Errorf("ps: shard %d does not own %v", s.machine, k)
+		}
+		out = append(out, row...)
+	}
+	return out, nil
+}
+
+// Push applies gradients for the given keys (concatenated in key order in
+// vals) through the shard's optimizer. This is Algorithm 4's push path.
+func (s *Server) Push(keys []Key, vals []float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := 0
+	for _, k := range keys {
+		w := s.Width(k)
+		if off+w > len(vals) {
+			return fmt.Errorf("ps: push payload too short for %v (have %d, need %d more)", k, len(vals)-off, w)
+		}
+		row, ok := s.rows[k]
+		if !ok {
+			return fmt.Errorf("ps: shard %d does not own %v", s.machine, k)
+		}
+		grad := vals[off : off+w]
+		if !finite(grad) {
+			// Drop non-finite gradients rather than poisoning the row;
+			// asynchronous training can transiently explode.
+			off += w
+			continue
+		}
+		s.optim.Apply(uint64(k), row, grad)
+		off += w
+	}
+	if off != len(vals) {
+		return fmt.Errorf("ps: push payload has %d leftover values", len(vals)-off)
+	}
+	return nil
+}
+
+// SetRow overwrites a row's value (used by block trainers that update
+// entity partitions locally and write them back wholesale).
+func (s *Server) SetRow(k Key, row []float32) error {
+	if len(row) != s.Width(k) {
+		return fmt.Errorf("ps: SetRow %v width %d, want %d", k, len(row), s.Width(k))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, ok := s.rows[k]
+	if !ok {
+		return fmt.Errorf("ps: shard %d does not own %v", s.machine, k)
+	}
+	copy(dst, row)
+	return nil
+}
+
+// Keys returns all keys owned by the shard (unordered).
+func (s *Server) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.rows))
+	for k := range s.rows {
+		out = append(out, k)
+	}
+	return out
+}
+
+func finite(x []float32) bool {
+	for _, v := range x {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package ps
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The TCP transport implements the same Pull/Push protocol over real
+// sockets with gob encoding, proving the parameter server works across
+// process boundaries. Experiments use InProc (deterministic timing);
+// integration tests exercise this path.
+
+// wireRequest is the on-wire envelope for both operations.
+type wireRequest struct {
+	Op   byte // 'P' pull, 'U' push
+	Keys []Key
+	Vals []float32
+}
+
+// wireResponse is the on-wire reply.
+type wireResponse struct {
+	Vals []float32
+	Err  string
+}
+
+// ServeTCP runs a shard's accept loop until the listener closes. Each
+// connection is handled on its own goroutine; requests on one connection
+// are processed in order.
+func ServeTCP(l net.Listener, srv *Server) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv *Server) {
+	defer conn.Close()
+	br := bufio.NewWriter(conn)
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(br)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // io.EOF on clean close
+		}
+		var resp wireResponse
+		switch req.Op {
+		case 'P':
+			vals, err := srv.Pull(req.Keys)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Vals = vals
+			}
+		case 'U':
+			if err := srv.Push(req.Keys, req.Vals); err != nil {
+				resp.Err = err.Error()
+			}
+		default:
+			resp.Err = fmt.Sprintf("ps: unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := br.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// TCPTransport connects a worker to shards over TCP, one persistent
+// connection per shard. Calls on the same shard are serialized by a
+// per-connection mutex.
+type TCPTransport struct {
+	conns []*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	bw   *bufio.Writer
+}
+
+// DialTCP connects to every shard address in order.
+func DialTCP(addrs []string) (*TCPTransport, error) {
+	t := &TCPTransport{}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("ps: dialing shard %s: %w", addr, err)
+		}
+		bw := bufio.NewWriter(conn)
+		t.conns = append(t.conns, &tcpConn{
+			conn: conn,
+			enc:  gob.NewEncoder(bw),
+			dec:  gob.NewDecoder(conn),
+			bw:   bw,
+		})
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) call(shard int, req *wireRequest) (*wireResponse, error) {
+	if shard < 0 || shard >= len(t.conns) {
+		return nil, fmt.Errorf("ps: no shard %d", shard)
+	}
+	c := t.conns[shard]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("ps: sending to shard %d: %w", shard, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("ps: flushing to shard %d: %w", shard, err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("ps: shard %d closed the connection", shard)
+		}
+		return nil, fmt.Errorf("ps: reading from shard %d: %w", shard, err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Pull implements Transport.
+func (t *TCPTransport) Pull(shard int, req *PullRequest) (*PullResponse, error) {
+	resp, err := t.call(shard, &wireRequest{Op: 'P', Keys: req.Keys})
+	if err != nil {
+		return nil, err
+	}
+	return &PullResponse{Vals: resp.Vals}, nil
+}
+
+// Push implements Transport.
+func (t *TCPTransport) Push(shard int, req *PushRequest) error {
+	_, err := t.call(shard, &wireRequest{Op: 'U', Keys: req.Keys, Vals: req.Vals})
+	return err
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	var first error
+	for _, c := range t.conns {
+		if c != nil && c.conn != nil {
+			if err := c.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,80 @@
+package ps
+
+import "fmt"
+
+// PullRequest asks a shard for the rows of Keys.
+type PullRequest struct {
+	Keys []Key
+}
+
+// PullResponse carries the requested rows concatenated in key order.
+type PullResponse struct {
+	Vals []float32
+}
+
+// PushRequest carries gradients for Keys, concatenated in key order.
+type PushRequest struct {
+	Keys []Key
+	Vals []float32
+}
+
+// Transport moves requests between a worker and the server shards. The two
+// implementations are InProc (direct calls, used for experiments so traffic
+// cost comes from the netsim model, not Go scheduling noise) and TCP (a real
+// wire protocol, used by integration tests and multi-process deployments).
+type Transport interface {
+	// Pull fetches rows from the given shard.
+	Pull(shard int, req *PullRequest) (*PullResponse, error)
+	// Push sends gradients to the given shard.
+	Push(shard int, req *PushRequest) error
+	// Close releases transport resources.
+	Close() error
+}
+
+// Wire-size accounting shared by all transports: 16 bytes of framing per
+// message, 8 bytes per key, 4 bytes per float32 value. These sizes feed the
+// netsim cost model, so they must match what a binary wire format would
+// actually carry.
+const msgHeaderBytes = 16
+
+// PullRequestBytes returns the serialized size of a pull request.
+func PullRequestBytes(numKeys int) int64 { return msgHeaderBytes + 8*int64(numKeys) }
+
+// PullResponseBytes returns the serialized size of a pull response.
+func PullResponseBytes(numVals int) int64 { return msgHeaderBytes + 4*int64(numVals) }
+
+// PushRequestBytes returns the serialized size of a push request.
+func PushRequestBytes(numKeys, numVals int) int64 {
+	return msgHeaderBytes + 8*int64(numKeys) + 4*int64(numVals)
+}
+
+// InProc is the in-process transport: requests call shard methods directly.
+type InProc struct {
+	servers []*Server
+}
+
+// NewInProc wraps a cluster's shards.
+func NewInProc(c *Cluster) *InProc { return &InProc{servers: c.Servers} }
+
+// Pull implements Transport.
+func (t *InProc) Pull(shard int, req *PullRequest) (*PullResponse, error) {
+	if shard < 0 || shard >= len(t.servers) {
+		return nil, fmt.Errorf("ps: no shard %d", shard)
+	}
+	vals, err := t.servers[shard].Pull(req.Keys)
+	if err != nil {
+		return nil, err
+	}
+	return &PullResponse{Vals: vals}, nil
+}
+
+// Push implements Transport.
+func (t *InProc) Push(shard int, req *PushRequest) error {
+	if shard < 0 || shard >= len(t.servers) {
+		return fmt.Errorf("ps: no shard %d", shard)
+	}
+	return t.servers[shard].Push(req.Keys, req.Vals)
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error { return nil }

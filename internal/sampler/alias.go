@@ -1,0 +1,93 @@
+package sampler
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AliasTable samples from an arbitrary discrete distribution in O(1) per
+// draw (Walker's alias method, Vose's construction). The samplers use it
+// for degree-weighted negative corruption: drawing negatives ∝ degree^0.75
+// (the word2vec convention) yields harder negatives on skewed graphs than
+// uniform corruption, because random uniform entities are almost always
+// trivially implausible.
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds a table for the given non-negative weights.
+func NewAliasTable(weights []float64) (*AliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampler: empty weight vector")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sampler: negative weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("sampler: all weights zero")
+	}
+	t := &AliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	var small, large []int32
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small { // numerical leftovers
+		t.prob[i] = 1
+	}
+	return t, nil
+}
+
+// Len returns the support size.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Sample draws one index according to the table's distribution.
+func (t *AliasTable) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// DegreeWeights converts entity degrees to the standard deg^0.75 negative
+// sampling weights, flooring at 1 so zero-degree entities stay reachable.
+func DegreeWeights(degrees []int) []float64 {
+	out := make([]float64, len(degrees))
+	for i, d := range degrees {
+		if d < 1 {
+			d = 1
+		}
+		out[i] = math.Pow(float64(d), 0.75)
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetkg/internal/kg"
+)
+
+func lineGraph(t *testing.T, n int) *kg.Graph {
+	t.Helper()
+	triples := make([]kg.Triple, n)
+	for i := range triples {
+		triples[i] = kg.Triple{
+			Head:     kg.EntityID(i % 20),
+			Relation: kg.RelationID(i % 3),
+			Tail:     kg.EntityID((i + 1) % 20),
+		}
+	}
+	return kg.MustNewGraph("line", 20, 3, triples)
+}
+
+func newSampler(t *testing.T, cfg Config, g *kg.Graph, seed int64) *Sampler {
+	t.Helper()
+	s, err := New(cfg, g, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{BatchSize: 4, NegPerPos: 2, ChunkSize: 2, NumEntity: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{BatchSize: 0, NegPerPos: 1, NumEntity: 10},
+		{BatchSize: 1, NegPerPos: -1, NumEntity: 10},
+		{BatchSize: 1, NegPerPos: 1, NumEntity: 1},
+		{BatchSize: 1, NegPerPos: 1, NumEntity: 10, ChunkSize: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	g := lineGraph(t, 100)
+	s := newSampler(t, Config{BatchSize: 8, NegPerPos: 4, ChunkSize: 1, NumEntity: 20}, g, 1)
+	b := s.Next()
+	if len(b.Pos) != 8 || len(b.Neg) != 8 {
+		t.Fatalf("batch %d/%d, want 8/8", len(b.Pos), len(b.Neg))
+	}
+	if b.NumNegatives() != 32 {
+		t.Errorf("NumNegatives = %d, want 32", b.NumNegatives())
+	}
+	for i, ns := range b.Neg {
+		if len(ns.Entities) != 4 {
+			t.Errorf("Neg[%d] has %d entities, want 4", i, len(ns.Entities))
+		}
+		for _, e := range ns.Entities {
+			if e < 0 || int(e) >= 20 {
+				t.Errorf("negative entity %d out of range", e)
+			}
+		}
+	}
+}
+
+func TestEpochCoversAllTriples(t *testing.T) {
+	g := lineGraph(t, 50)
+	s := newSampler(t, Config{BatchSize: 7, NegPerPos: 1, NumEntity: 20}, g, 2)
+	seen := map[kg.Triple]int{}
+	iters := s.IterationsPerEpoch()
+	if iters != 8 { // ceil(50/7)
+		t.Fatalf("IterationsPerEpoch = %d, want 8", iters)
+	}
+	for i := 0; i < iters; i++ {
+		for _, p := range s.Next().Pos {
+			seen[p]++
+		}
+	}
+	// 8 batches × 7 = 56 > 50, so up to 6 triples repeat after reshuffle,
+	// but every distinct triple must be visited at least once.
+	distinct := map[kg.Triple]bool{}
+	for _, tr := range g.Triples {
+		distinct[tr] = true
+	}
+	for tr := range distinct {
+		if seen[tr] == 0 {
+			t.Errorf("triple %v never sampled in epoch", tr)
+		}
+	}
+}
+
+func TestChunkedSharing(t *testing.T) {
+	g := lineGraph(t, 100)
+	s := newSampler(t, Config{BatchSize: 8, NegPerPos: 3, ChunkSize: 4, NumEntity: 20}, g, 3)
+	b := s.Next()
+	if b.Neg[0] != b.Neg[3] {
+		t.Error("positives 0 and 3 in same chunk must share the NegativeSample")
+	}
+	if b.Neg[0] == b.Neg[4] {
+		t.Error("positives 0 and 4 in different chunks must not share")
+	}
+}
+
+func TestChunkedReducesDistinctRows(t *testing.T) {
+	g := lineGraph(t, 1000)
+	indep := newSampler(t, Config{BatchSize: 64, NegPerPos: 16, ChunkSize: 1, NumEntity: 20}, g, 4)
+	chunked := newSampler(t, Config{BatchSize: 64, NegPerPos: 16, ChunkSize: 16, NumEntity: 20}, g, 4)
+	// With only 20 entities dedup saturates, so count raw id references
+	// instead: chunked generates 64/16=4 shared sets of 16 vs 64 sets.
+	bi := indep.Next()
+	bc := chunked.Next()
+	rawI, rawC := 0, 0
+	seenI := map[*NegativeSample]bool{}
+	seenC := map[*NegativeSample]bool{}
+	for i := range bi.Neg {
+		if !seenI[bi.Neg[i]] {
+			seenI[bi.Neg[i]] = true
+			rawI += len(bi.Neg[i].Entities)
+		}
+		if !seenC[bc.Neg[i]] {
+			seenC[bc.Neg[i]] = true
+			rawC += len(bc.Neg[i].Entities)
+		}
+	}
+	if rawI != 64*16 || rawC != 4*16 {
+		t.Errorf("raw negative entity draws: independent %d (want 1024), chunked %d (want 64)", rawI, rawC)
+	}
+}
+
+func TestDistinctIDsDeduplicates(t *testing.T) {
+	b := &Batch{
+		Pos: []kg.Triple{
+			{Head: 0, Relation: 0, Tail: 1},
+			{Head: 1, Relation: 0, Tail: 2},
+			{Head: 0, Relation: 1, Tail: 1},
+		},
+		Neg: []*NegativeSample{
+			{Entities: []kg.EntityID{2, 3}},
+			{Entities: []kg.EntityID{3, 3}},
+			{Entities: []kg.EntityID{0}},
+		},
+	}
+	ents, rels := b.DistinctIDs()
+	if len(ents) != 4 { // 0,1,2,3
+		t.Errorf("distinct entities = %v, want 4 ids", ents)
+	}
+	if len(rels) != 2 {
+		t.Errorf("distinct relations = %v, want 2 ids", rels)
+	}
+}
+
+func TestFilterRejectsFalseNegatives(t *testing.T) {
+	// Graph over 3 entities where almost everything is a positive: the
+	// filter must steer corruption toward the one non-positive option.
+	triples := []kg.Triple{
+		{Head: 0, Relation: 0, Tail: 1},
+		{Head: 0, Relation: 0, Tail: 2},
+	}
+	g := kg.MustNewGraph("dense", 3, 1, triples)
+	filter := kg.NewTripleSet(triples)
+	s := newSampler(t, Config{BatchSize: 2, NegPerPos: 8, ChunkSize: 1, NumEntity: 3, Filter: filter}, g, 5)
+	falseNeg, total := 0, 0
+	for it := 0; it < 50; it++ {
+		b := s.Next()
+		for i, p := range b.Pos {
+			for j := range b.Neg[i].Entities {
+				total++
+				if filter.Contains(NegTriple(p, b.Neg[i], j)) {
+					falseNeg++
+				}
+			}
+		}
+	}
+	unfiltered := newSampler(t, Config{BatchSize: 2, NegPerPos: 8, ChunkSize: 1, NumEntity: 3}, g, 5)
+	falseNegU := 0
+	for it := 0; it < 50; it++ {
+		b := unfiltered.Next()
+		for i, p := range b.Pos {
+			for j := range b.Neg[i].Entities {
+				if filter.Contains(NegTriple(p, b.Neg[i], j)) {
+					falseNegU++
+				}
+			}
+		}
+	}
+	if falseNeg >= falseNegU {
+		t.Errorf("filtered sampler produced %d false negatives vs %d unfiltered; filter ineffective", falseNeg, falseNegU)
+	}
+}
+
+func TestNegTriple(t *testing.T) {
+	p := kg.Triple{Head: 1, Relation: 2, Tail: 3}
+	nsHead := &NegativeSample{Entities: []kg.EntityID{9}, CorruptHead: true}
+	if got := NegTriple(p, nsHead, 0); got != (kg.Triple{Head: 9, Relation: 2, Tail: 3}) {
+		t.Errorf("head corruption = %v", got)
+	}
+	nsTail := &NegativeSample{Entities: []kg.EntityID{9}, CorruptHead: false}
+	if got := NegTriple(p, nsTail, 0); got != (kg.Triple{Head: 1, Relation: 2, Tail: 9}) {
+		t.Errorf("tail corruption = %v", got)
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	g := lineGraph(t, 100)
+	cfg := Config{BatchSize: 8, NegPerPos: 2, ChunkSize: 2, NumEntity: 20}
+	a := newSampler(t, cfg, g, 42)
+	b := newSampler(t, cfg, g, 42)
+	for it := 0; it < 5; it++ {
+		ba, bb := a.Next(), b.Next()
+		for i := range ba.Pos {
+			if ba.Pos[i] != bb.Pos[i] {
+				t.Fatalf("iteration %d positive %d differs", it, i)
+			}
+			for j := range ba.Neg[i].Entities {
+				if ba.Neg[i].Entities[j] != bb.Neg[i].Entities[j] {
+					t.Fatalf("iteration %d negative (%d,%d) differs", it, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestNewRejectsEmptyGraph(t *testing.T) {
+	g := &kg.Graph{Name: "empty", NumEntity: 5, NumRel: 1}
+	if _, err := New(Config{BatchSize: 1, NegPerPos: 1, NumEntity: 5}, g, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestBatchSizeLargerThanGraph(t *testing.T) {
+	g := lineGraph(t, 5)
+	s := newSampler(t, Config{BatchSize: 100, NegPerPos: 1, NumEntity: 20}, g, 6)
+	b := s.Next()
+	if len(b.Pos) != 5 {
+		t.Errorf("batch size %d, want clamped to 5", len(b.Pos))
+	}
+}
+
+func TestAliasTableDistribution(t *testing.T) {
+	weights := []float64{1, 2, 4, 8}
+	at, err := NewAliasTable(weights)
+	if err != nil {
+		t.Fatalf("NewAliasTable: %v", err)
+	}
+	if at.Len() != 4 {
+		t.Fatalf("Len = %d", at.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 4)
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[at.Sample(rng)]++
+	}
+	total := 1.0 + 2 + 4 + 8
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("index %d: empirical %.4f, want ≈%.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasTableValidation(t *testing.T) {
+	if _, err := NewAliasTable(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAliasTable([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewAliasTable([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	// Degenerate single-element and zero-containing distributions work.
+	at, err := NewAliasTable([]float64{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		if at.Sample(rng) != 1 {
+			t.Fatal("zero-weight index sampled")
+		}
+	}
+}
+
+func TestDegreeWeights(t *testing.T) {
+	w := DegreeWeights([]int{0, 1, 16})
+	if w[0] != 1 || w[1] != 1 { // floor at degree 1
+		t.Errorf("low-degree weights %v, want floor 1", w[:2])
+	}
+	if w[2] < 7.9 || w[2] > 8.1 { // 16^0.75 = 8
+		t.Errorf("16^0.75 = %v, want 8", w[2])
+	}
+}
+
+func TestDegreeWeightedNegativesBiasTowardHubs(t *testing.T) {
+	// A hub graph: entity 0 has huge degree. Degree-weighted corruption
+	// must pick it far more often than uniform.
+	var triples []kg.Triple
+	for i := 1; i < 20; i++ {
+		triples = append(triples, kg.Triple{Head: 0, Relation: 0, Tail: kg.EntityID(i)})
+	}
+	g := kg.MustNewGraph("hub", 20, 1, triples)
+	cfg := Config{
+		BatchSize: 8, NegPerPos: 8, ChunkSize: 1, NumEntity: 20,
+		NegativeWeights: DegreeWeights(g.EntityDegrees()),
+	}
+	s, err := New(cfg, g, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, total := 0, 0
+	for it := 0; it < 100; it++ {
+		b := s.Next()
+		for _, ns := range b.Neg {
+			for _, e := range ns.Entities {
+				total++
+				if e == 0 {
+					hub++
+				}
+			}
+		}
+	}
+	frac := float64(hub) / float64(total)
+	// deg(0)=19, others deg 1: weight share = 19^0.75/(19^0.75+19) ≈ 0.32.
+	if frac < 0.2 {
+		t.Errorf("hub sampled %.3f of the time, want ≈0.32 (uniform would be 0.05)", frac)
+	}
+}
+
+func TestNegativeWeightsValidation(t *testing.T) {
+	g := lineGraph(t, 10)
+	cfg := Config{BatchSize: 2, NegPerPos: 1, NumEntity: 20, NegativeWeights: []float64{1, 2}}
+	if _, err := New(cfg, g, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+}

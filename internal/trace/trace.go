@@ -1,0 +1,132 @@
+// Package trace records training runs as JSONL files — one self-describing
+// header line followed by one line per epoch — the raw material for
+// plotting convergence curves and comparing runs outside this repository.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hetkg/internal/metrics"
+	"hetkg/internal/train"
+)
+
+// Header is the first line of a trace file: run identity and configuration.
+type Header struct {
+	Kind     string `json:"kind"` // always "hetkg-trace/v1"
+	System   string `json:"system"`
+	Dataset  string `json:"dataset"`
+	Model    string `json:"model"`
+	Dim      int    `json:"dim"`
+	Machines int    `json:"machines"`
+	Seed     int64  `json:"seed"`
+}
+
+// Epoch is one per-epoch line.
+type Epoch struct {
+	Epoch    int     `json:"epoch"`
+	Loss     float64 `json:"loss"`
+	MRR      float64 `json:"mrr,omitempty"`
+	CompMS   float64 `json:"comp_ms"`
+	CommMS   float64 `json:"comm_ms"`
+	CumMS    float64 `json:"cum_ms"`
+	HitRatio float64 `json:"hit_ratio,omitempty"`
+}
+
+// Run is a fully parsed trace.
+type Run struct {
+	Header Header
+	Epochs []Epoch
+}
+
+const kind = "hetkg-trace/v1"
+
+// Write serializes a training result as a trace.
+func Write(w io.Writer, hdr Header, res *train.Result) error {
+	hdr.Kind = kind
+	if hdr.System == "" {
+		hdr.System = res.System
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	for _, e := range res.Epochs {
+		if err := enc.Encode(toEpoch(e)); err != nil {
+			return fmt.Errorf("trace: encoding epoch %d: %w", e.Epoch, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func toEpoch(e metrics.EpochStat) Epoch {
+	return Epoch{
+		Epoch:    e.Epoch,
+		Loss:     e.Loss,
+		MRR:      e.MRR,
+		CompMS:   float64(e.Comp) / float64(time.Millisecond),
+		CommMS:   float64(e.Comm) / float64(time.Millisecond),
+		CumMS:    float64(e.CumTime) / float64(time.Millisecond),
+		HitRatio: e.HitRatio,
+	}
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var run Run
+	if err := json.Unmarshal(sc.Bytes(), &run.Header); err != nil {
+		return nil, fmt.Errorf("trace: parsing header: %w", err)
+	}
+	if run.Header.Kind != kind {
+		return nil, fmt.Errorf("trace: not a trace file (kind %q)", run.Header.Kind)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Epoch
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		run.Epochs = append(run.Epochs, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return &run, nil
+}
+
+// WriteFile writes a trace to path.
+func WriteFile(path string, hdr Header, res *train.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %s: %w", path, err)
+	}
+	if err := Write(f, hdr, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses a trace from path.
+func ReadFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

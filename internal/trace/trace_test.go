@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hetkg/internal/metrics"
+	"hetkg/internal/train"
+)
+
+func sampleResult() *train.Result {
+	return &train.Result{
+		System: "HET-KG-D",
+		Epochs: []metrics.EpochStat{
+			{Epoch: 1, Loss: 5.0, MRR: 0.1, Comp: 100 * time.Millisecond, Comm: 50 * time.Millisecond, CumTime: 150 * time.Millisecond, HitRatio: 0.2},
+			{Epoch: 2, Loss: 2.0, MRR: 0.2, Comp: 110 * time.Millisecond, Comm: 55 * time.Millisecond, CumTime: 315 * time.Millisecond, HitRatio: 0.21},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := Header{Dataset: "fb15k", Model: "transe", Dim: 64, Machines: 4, Seed: 42}
+	if err := Write(&buf, hdr, sampleResult()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	run, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if run.Header.System != "HET-KG-D" {
+		t.Errorf("system not filled from result: %q", run.Header.System)
+	}
+	if run.Header.Dataset != "fb15k" || run.Header.Seed != 42 {
+		t.Errorf("header lost fields: %+v", run.Header)
+	}
+	if len(run.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(run.Epochs))
+	}
+	if run.Epochs[0].Loss != 5.0 || run.Epochs[1].MRR != 0.2 {
+		t.Errorf("epoch values wrong: %+v", run.Epochs)
+	}
+	if run.Epochs[0].CompMS != 100 {
+		t.Errorf("CompMS = %v, want 100", run.Epochs[0].CompMS)
+	}
+	if run.Epochs[1].CumMS != 315 {
+		t.Errorf("CumMS = %v, want 315", run.Epochs[1].CumMS)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := WriteFile(path, Header{Dataset: "wn18"}, sampleResult()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	run, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if run.Header.Dataset != "wn18" || len(run.Epochs) != 2 {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("non-JSON header accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"other"}` + "\n")); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"hetkg-trace/v1"}` + "\nnot json\n")); err == nil {
+		t.Error("bad epoch line accepted")
+	}
+	if _, err := ReadFile("/nonexistent/trace.jsonl"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

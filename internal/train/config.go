@@ -1,0 +1,249 @@
+// Package train implements the three distributed KGE training systems the
+// paper compares: HET-KG (parameter server + hot-embedding cache, in CPS and
+// DPS variants), a DGL-KE-style trainer (parameter server, no cache), and a
+// PyTorch-BigGraph-style trainer (entity buckets swapped through a shared
+// filesystem, relations as dense parameters).
+//
+// All three run on the same substrate — models, samplers, optimizers, the
+// sharded PS, the partitioner, and the netsim cost model — so measured
+// differences isolate the system mechanism, which is the comparison the
+// paper's evaluation makes.
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"hetkg/internal/cache"
+	"hetkg/internal/eval"
+	"hetkg/internal/kg"
+	"hetkg/internal/metrics"
+	"hetkg/internal/model"
+	"hetkg/internal/netsim"
+	"hetkg/internal/opt"
+	"hetkg/internal/partition"
+	"hetkg/internal/ps"
+	"hetkg/internal/vec"
+)
+
+// Config parameterizes a training run. Zero values select sensible defaults
+// where noted.
+type Config struct {
+	// Graph holds the training triples.
+	Graph *kg.Graph
+	// Valid, when non-empty, is scored for MRR after every EvalEvery
+	// epochs to build convergence curves.
+	Valid []kg.Triple
+	// Filter enables filtered negative sampling and filtered evaluation.
+	Filter *kg.TripleSet
+
+	// Model and Loss select the scoring function and objective.
+	Model model.Model
+	Loss  model.Loss
+	// Dim is the base embedding dimension d.
+	Dim int
+	// LR is the AdaGrad learning rate.
+	LR float32
+	// Epochs is the number of passes over the training triples.
+	Epochs int
+
+	// BatchSize (b_p), NegPerPos (b_n) and ChunkSize (b_c) parameterize
+	// sampling (§V "Negative Sampling").
+	BatchSize, NegPerPos, ChunkSize int
+
+	// NumMachines is the cluster size; each machine hosts one PS shard and
+	// WorkersPerMachine workers (default 1).
+	NumMachines       int
+	WorkersPerMachine int
+	// LocalMachines, when non-empty, restricts this process to the
+	// workers of the listed machine indices — the multi-process worker
+	// deployment, where each trainer process drives one machine's share
+	// of the workload against shared (remote) PS shards. Empty = all
+	// machines in-process (the default single-process simulation).
+	LocalMachines []int
+
+	// Partitioner distributes entities across machines (default MetisLike).
+	Partitioner partition.Partitioner
+	// CostModel prices the metered traffic (default the paper's 1 Gbps).
+	CostModel netsim.CostModel
+
+	// EvalEvery is the epoch interval for validation MRR (0 disables).
+	EvalEvery int
+	// EvalCandidates caps ranking candidates during validation (0 = all).
+	EvalCandidates int
+	// EvalMax caps how many validation triples are scored (0 = all).
+	EvalMax int
+
+	// Seed drives every random choice in the run.
+	Seed int64
+
+	// Cache configures HET-KG's hot-embedding table; ignored by the
+	// baseline trainers.
+	Cache CacheConfig
+
+	// InitialEntities and InitialRelations, when non-nil, resume training
+	// from existing embedding tables instead of random initialization.
+	InitialEntities  *vec.Matrix
+	InitialRelations *vec.Matrix
+
+	// NewOptimizer, when non-nil, supplies the gradient applier used by
+	// both the PS shards and the workers' cached copies (default:
+	// AdaGrad(LR), the paper's optimizer).
+	NewOptimizer func() opt.Optimizer
+
+	// NegativeWeights, when non-nil, draws corrupting entities from this
+	// unnormalized distribution instead of uniformly (e.g.
+	// sampler.DegreeWeights for deg^0.75 corruption).
+	NegativeWeights []float64
+
+	// AdversarialTemp enables self-adversarial negative sampling (Sun et
+	// al., RotatE): each negative's gradient is weighted by
+	// softmax(temp · score) across its positive's negatives, focusing the
+	// update on hard negatives. 0 disables (uniform 1/n weighting, the
+	// paper's setting).
+	AdversarialTemp float32
+
+	// Quantize8Bit compresses every embedding and gradient payload to 8
+	// bits on the wire (lossy; see ps.QuantizedTransport). An extension
+	// beyond the paper, stacked on top of the cache.
+	Quantize8Bit bool
+
+	// NewTransport, when non-nil, supplies the worker↔PS transport
+	// (default: the in-process transport). Supplying ps.DialTCP-backed
+	// transports runs the whole training loop over real sockets.
+	NewTransport func(*ps.Cluster) (ps.Transport, error)
+}
+
+// CacheConfig is the hot-embedding table configuration (§IV-B).
+type CacheConfig struct {
+	// Strategy selects CPS or DPS construction.
+	Strategy cache.Strategy
+	// Capacity is k, rows cached per worker.
+	Capacity int
+	// EntityFraction is the heterogeneity quota (default 0.25).
+	EntityFraction float64
+	// Heterogeneity toggles the quota (off = HET-KG-N of Table VII).
+	Heterogeneity bool
+	// SyncEvery is the staleness bound P: cached values refresh from the
+	// PS every P iterations (0 = never, unbounded staleness).
+	SyncEvery int
+	// PrefetchD is D, the lookahead depth in iterations. For DPS the table
+	// rebuilds every D iterations; for CPS it controls the census depth of
+	// the one-shot build (0 = one full epoch).
+	PrefetchD int
+}
+
+// Validate checks the configuration and fills defaults in place.
+func (c *Config) Validate() error {
+	if c.Graph == nil || c.Graph.NumTriples() == 0 {
+		return fmt.Errorf("train: empty graph")
+	}
+	if c.Model == nil {
+		return fmt.Errorf("train: nil model")
+	}
+	if c.Loss == nil {
+		return fmt.Errorf("train: nil loss")
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("train: Dim %d <= 0", c.Dim)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("train: LR %v <= 0", c.LR)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("train: Epochs %d <= 0", c.Epochs)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("train: BatchSize %d <= 0", c.BatchSize)
+	}
+	if c.NegPerPos <= 0 {
+		return fmt.Errorf("train: NegPerPos %d <= 0", c.NegPerPos)
+	}
+	if c.NumMachines <= 0 {
+		return fmt.Errorf("train: NumMachines %d <= 0", c.NumMachines)
+	}
+	if c.WorkersPerMachine == 0 {
+		c.WorkersPerMachine = 1
+	}
+	if c.WorkersPerMachine < 0 {
+		return fmt.Errorf("train: WorkersPerMachine %d < 0", c.WorkersPerMachine)
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = &partition.MetisLike{Seed: c.Seed}
+	}
+	if c.CostModel == (netsim.CostModel{}) {
+		c.CostModel = netsim.Default1Gbps()
+	}
+	if err := c.CostModel.Validate(); err != nil {
+		return err
+	}
+	if c.Cache.EntityFraction == 0 {
+		c.Cache.EntityFraction = 0.25
+	}
+	if c.NewOptimizer == nil {
+		lr := c.LR
+		c.NewOptimizer = func() opt.Optimizer { return opt.NewAdaGrad(lr, 1e-10) }
+	}
+	return nil
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	// System names the trainer ("HET-KG-C", "HET-KG-D", "DGL-KE", "PBG").
+	System string
+	// Epochs records per-epoch statistics (loss, validation MRR, time
+	// breakdown, hit ratio).
+	Epochs []metrics.EpochStat
+	// Entities and Relations are the final gathered embedding tables.
+	Entities  *vec.Matrix
+	Relations *vec.Matrix
+	// Final holds the last validation evaluation (zero if EvalEvery = 0).
+	Final eval.Result
+	// Comp and Comm are the run's critical-path computation and simulated
+	// communication time; Total is their sum.
+	Comp, Comm time.Duration
+	// Traffic is the summed traffic of all workers.
+	Traffic netsim.Snapshot
+	// HitRatio is the overall cache hit ratio (HET-KG only).
+	HitRatio float64
+	// CacheAccesses is the total number of cache lookups across workers.
+	CacheAccesses int64
+	// RefreshRows is the total rows re-pulled by cache builds and
+	// staleness refreshes — the overhead side of the Fig. 8(b) trade-off.
+	RefreshRows int64
+}
+
+// LocalServiceRatio is the fraction of embedding reads served without any
+// parameter-server traffic: cache hits minus the table-construction pulls
+// (Build/rebuild). Under per-row staleness every expiry already counts as a
+// miss, so this tracks HitRatio closely; both fall as the staleness bound P
+// tightens, reproducing Fig. 8(b)'s rising curve.
+func (r *Result) LocalServiceRatio() float64 {
+	if r.CacheAccesses == 0 {
+		return 0
+	}
+	v := r.HitRatio - float64(r.RefreshRows)/float64(r.CacheAccesses)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Total returns the simulated end-to-end training time.
+func (r *Result) Total() time.Duration { return r.Comp + r.Comm }
+
+// evalNow scores validation MRR with the run's eval settings.
+func evalNow(cfg *Config, ents, rels *vec.Matrix) (eval.Result, error) {
+	test := cfg.Valid
+	if cfg.EvalMax > 0 && len(test) > cfg.EvalMax {
+		test = test[:cfg.EvalMax]
+	}
+	return eval.Evaluate(eval.Config{
+		Model:         cfg.Model,
+		Entities:      ents,
+		Relations:     rels,
+		Filter:        cfg.Filter,
+		NumCandidates: cfg.EvalCandidates,
+		Seed:          cfg.Seed + 1000,
+	}, test)
+}

@@ -1,0 +1,206 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"hetkg/internal/metrics"
+	"hetkg/internal/partition"
+	"hetkg/internal/ps"
+)
+
+// TrainDGLKE runs the DGL-KE-style baseline (§III-B): METIS-partitioned
+// subgraphs, a co-located parameter server, and per-iteration pull/push of
+// every embedding the mini-batch touches. It is HET-KG without the
+// hot-embedding table.
+func TrainDGLKE(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := setupPS(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers, err := newWorkers(&cfg, env.cluster, env.part, env.tr, false)
+	if err != nil {
+		return nil, err
+	}
+	return runPSTraining(&cfg, env, workers, "DGL-KE", nil)
+}
+
+// psEnv bundles the shared PS-training substrate.
+type psEnv struct {
+	cluster *ps.Cluster
+	part    *partition.Result
+	// tr is the worker↔PS transport; gathers go through it too, so remote
+	// shard deployments (cmd/hetkg-ps) see the trained state.
+	tr ps.Transport
+}
+
+// runPSTraining drives PS-style trainers (DGL-KE and HET-KG) with the
+// round-robin asynchronous schedule: each epoch every worker processes its
+// share of iterations one batch per turn, then an epoch barrier (the full
+// synchronization DGL-KE performs every few thousand mini-batches, §V)
+// gathers statistics and optionally evaluates. perIteration, when non-nil,
+// is invoked before each worker turn — HET-KG hooks its prefetch, rebuild
+// and staleness sync there.
+func runPSTraining(cfg *Config, env *psEnv, workers []*worker, system string,
+	perIteration func(w *worker) error) (*Result, error) {
+
+	res := &Result{System: system}
+	var cum time.Duration
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		// Each worker makes one pass over its own partition per epoch;
+		// with unbalanced partitions a light worker simply finishes its
+		// epoch early (ASP — nobody waits), rather than re-looping its
+		// subgraph, which would inflate both traffic and update counts.
+		maxIters := 0
+		for _, w := range workers {
+			if it := w.smp.IterationsPerEpoch(); it > maxIters {
+				maxIters = it
+			}
+		}
+		for it := 0; it < maxIters; it++ {
+			for _, w := range workers {
+				if it >= w.smp.IterationsPerEpoch() {
+					continue
+				}
+				if perIteration != nil {
+					if err := perIteration(w); err != nil {
+						return nil, err
+					}
+				}
+				if _, err := w.processBatch(w.nextBatch()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		stat, err := epochBarrier(cfg, env, workers, epoch, &cum)
+		if err != nil {
+			return nil, err
+		}
+		res.Epochs = append(res.Epochs, stat)
+	}
+	return finalize(cfg, env, workers, res)
+}
+
+// epochBarrier collects per-epoch statistics across workers: the epoch's
+// simulated duration is the critical path (slowest worker), matching a real
+// cluster where machines run in parallel.
+func epochBarrier(cfg *Config, env *psEnv, workers []*worker, epoch int, cum *time.Duration) (metrics.EpochStat, error) {
+	var stat metrics.EpochStat
+	stat.Epoch = epoch
+	var lossSum float64
+	var accTotal, hitTotal float64
+	for _, w := range workers {
+		comp, comm, loss := w.epochStats(cfg.CostModel)
+		if comp > stat.Comp {
+			stat.Comp = comp
+		}
+		if comm > stat.Comm {
+			stat.Comm = comm
+		}
+		lossSum += loss
+		if w.hot != nil {
+			acc := float64(w.hot.Accesses())
+			accTotal += acc
+			hitTotal += acc * w.hot.HitRatio()
+			w.accTotal += acc
+			w.hitTotal += acc * w.hot.HitRatio()
+			w.hot.ResetStats()
+		}
+	}
+	stat.Loss = lossSum / float64(len(workers))
+	if accTotal > 0 {
+		stat.HitRatio = hitTotal / accTotal
+	}
+	*cum += stat.Total()
+	stat.CumTime = *cum
+
+	if cfg.EvalEvery > 0 && len(cfg.Valid) > 0 && epoch%cfg.EvalEvery == 0 {
+		ents, rels, err := env.cluster.GatherVia(env.tr)
+		if err != nil {
+			return stat, err
+		}
+		ev, err := evalNow(cfg, ents, rels)
+		if err != nil {
+			return stat, err
+		}
+		stat.MRR = ev.MRR
+	}
+	return stat, nil
+}
+
+// finalize gathers embeddings, runs the final evaluation, and aggregates
+// run-level statistics.
+func finalize(cfg *Config, env *psEnv, workers []*worker, res *Result) (*Result, error) {
+	ents, rels, err := env.cluster.GatherVia(env.tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Entities, res.Relations = ents, rels
+	if cfg.EvalEvery > 0 && len(cfg.Valid) > 0 {
+		ev, err := evalNow(cfg, ents, rels)
+		if err != nil {
+			return nil, err
+		}
+		res.Final = ev
+	}
+	var hitTotal, accTotal float64
+	for _, w := range workers {
+		s := w.meter.Snapshot()
+		res.Traffic.LocalMsgs += s.LocalMsgs
+		res.Traffic.LocalBytes += s.LocalBytes
+		res.Traffic.RemoteMsgs += s.RemoteMsgs
+		res.Traffic.RemoteBytes += s.RemoteBytes
+		accTotal += w.accTotal
+		hitTotal += w.hitTotal
+		if w.hot != nil {
+			res.RefreshRows += w.hot.RefreshedRows()
+		}
+	}
+	if accTotal > 0 {
+		res.HitRatio = hitTotal / accTotal
+	}
+	res.CacheAccesses = int64(accTotal)
+	for _, e := range res.Epochs {
+		res.Comp += e.Comp
+		res.Comm += e.Comm
+	}
+	return res, nil
+}
+
+// setupPS partitions the graph and builds the parameter-server cluster.
+func setupPS(cfg *Config) (*psEnv, error) {
+	part, err := cfg.Partitioner.Partition(cfg.Graph, cfg.NumMachines)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := ps.NewCluster(ps.ClusterConfig{
+		NumMachines:      cfg.NumMachines,
+		EntityPart:       part.EntityPart,
+		NumRelations:     cfg.Graph.NumRel,
+		EntityDim:        cfg.Model.EntityDim(cfg.Dim),
+		RelationDim:      cfg.Model.RelationDim(cfg.Dim),
+		NewOptimizer:     cfg.NewOptimizer,
+		Seed:             cfg.Seed,
+		InitialEntities:  cfg.InitialEntities,
+		InitialRelations: cfg.InitialRelations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tr ps.Transport
+	if cfg.NewTransport != nil {
+		tr, err = cfg.NewTransport(cluster)
+		if err != nil {
+			return nil, fmt.Errorf("train: building transport: %w", err)
+		}
+	} else {
+		tr = ps.NewInProc(cluster)
+	}
+	if cfg.Quantize8Bit {
+		tr = ps.NewQuantized(tr, cluster)
+	}
+	return &psEnv{cluster: cluster, part: part, tr: tr}, nil
+}

@@ -1,0 +1,98 @@
+package train
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hetkg/internal/ps"
+)
+
+// flakyTransport wraps a real transport and fails the n-th operation, for
+// verifying that transport errors surface as clean trainer errors instead
+// of panics, hangs, or silently corrupted results.
+type flakyTransport struct {
+	inner    ps.Transport
+	failAt   int
+	opCount  int
+	failPull bool
+	failPush bool
+}
+
+var errInjected = errors.New("injected network failure")
+
+func (f *flakyTransport) Pull(shard int, req *ps.PullRequest) (*ps.PullResponse, error) {
+	f.opCount++
+	if f.failPull && f.opCount >= f.failAt {
+		return nil, errInjected
+	}
+	return f.inner.Pull(shard, req)
+}
+
+func (f *flakyTransport) Push(shard int, req *ps.PushRequest) error {
+	f.opCount++
+	if f.failPush && f.opCount >= f.failAt {
+		return errInjected
+	}
+	return f.inner.Push(shard, req)
+}
+
+func (f *flakyTransport) Close() error { return f.inner.Close() }
+
+func TestTrainerSurfacesPullFailure(t *testing.T) {
+	for _, mode := range []string{"pull", "push"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := testConfig(t, 2)
+			cfg.Epochs = 1
+			cfg.EvalEvery = 0
+			cfg.NewTransport = func(c *ps.Cluster) (ps.Transport, error) {
+				return &flakyTransport{
+					inner:    ps.NewInProc(c),
+					failAt:   25,
+					failPull: mode == "pull",
+					failPush: mode == "push",
+				}, nil
+			}
+			_, err := TrainHETKG(cfg)
+			if err == nil {
+				t.Fatal("trainer swallowed a transport failure")
+			}
+			if !errors.Is(err, errInjected) && !strings.Contains(err.Error(), "injected") {
+				t.Errorf("error does not identify the cause: %v", err)
+			}
+		})
+	}
+}
+
+func TestTrainerSurfacesEarlyFailure(t *testing.T) {
+	// Failing the very first operation exercises the cache-build path.
+	cfg := testConfig(t, 2)
+	cfg.Epochs = 1
+	cfg.EvalEvery = 0
+	cfg.NewTransport = func(c *ps.Cluster) (ps.Transport, error) {
+		return &flakyTransport{inner: ps.NewInProc(c), failAt: 1, failPull: true}, nil
+	}
+	if _, err := TrainHETKG(cfg); err == nil {
+		t.Fatal("first-pull failure swallowed")
+	}
+	// DGL-KE path too.
+	cfg2 := testConfig(t, 2)
+	cfg2.Epochs = 1
+	cfg2.EvalEvery = 0
+	cfg2.NewTransport = func(c *ps.Cluster) (ps.Transport, error) {
+		return &flakyTransport{inner: ps.NewInProc(c), failAt: 1, failPull: true}, nil
+	}
+	if _, err := TrainDGLKE(cfg2); err == nil {
+		t.Fatal("DGL-KE first-pull failure swallowed")
+	}
+}
+
+func TestTransportConstructionFailure(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.NewTransport = func(c *ps.Cluster) (ps.Transport, error) {
+		return nil, errors.New("cannot reach cluster")
+	}
+	if _, err := TrainDGLKE(cfg); err == nil || !strings.Contains(err.Error(), "cannot reach cluster") {
+		t.Fatalf("transport construction error not surfaced: %v", err)
+	}
+}

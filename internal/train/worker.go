@@ -1,0 +1,290 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hetkg/internal/cache"
+	"hetkg/internal/netsim"
+	"hetkg/internal/partition"
+	"hetkg/internal/ps"
+	"hetkg/internal/sampler"
+)
+
+// worker is one training worker: a sampler over its machine's subgraph, a
+// PS client, an optional hot-embedding cache, and per-epoch accounting.
+// Workers are driven round-robin by the trainers — one batch per turn — so
+// asynchronous interleaving (worker A missing worker B's fresh pushes until
+// cache refresh) is reproduced deterministically; per-worker clocks model
+// what would run in parallel on separate machines.
+type worker struct {
+	id      int
+	machine int
+	smp     *sampler.Sampler
+	client  *ps.Client
+	meter   *netsim.Meter
+	hot     *cache.HotCache // nil for cacheless trainers
+
+	cfg  *Config
+	rows map[ps.Key][]float32 // per-batch working set (pulled + cached)
+
+	// queued holds prefetched batches to replay (HET-KG).
+	queued []*sampler.Batch
+	// iteration counts processed batches for staleness bookkeeping.
+	iteration int
+
+	// Per-epoch accounting, reset by epochStats.
+	compTime  time.Duration
+	commBase  netsim.Snapshot
+	lossSum   float64
+	lossCount int
+	// Run-level cache accounting, accumulated at epoch barriers.
+	accTotal, hitTotal float64
+}
+
+// newWorkers builds one worker per (machine, slot) over the partitioned
+// subgraphs. withCache attaches a HotCache configured from cfg.Cache.
+func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.Transport, withCache bool) ([]*worker, error) {
+	subs := part.Subgraphs(cfg.Graph)
+	local := func(m int) bool {
+		if len(cfg.LocalMachines) == 0 {
+			return true
+		}
+		for _, lm := range cfg.LocalMachines {
+			if lm == m {
+				return true
+			}
+		}
+		return false
+	}
+	var workers []*worker
+	id := 0
+	for m := 0; m < cfg.NumMachines; m++ {
+		sub := subs[m]
+		if !local(m) {
+			id += cfg.WorkersPerMachine // keep worker seeds stable across deployments
+			continue
+		}
+		if sub.NumTriples() == 0 {
+			// A machine with no triples contributes no worker; its shard
+			// still serves pulls.
+			continue
+		}
+		for s := 0; s < cfg.WorkersPerMachine; s++ {
+			meter := &netsim.Meter{}
+			client, err := ps.NewClient(m, cluster, tr, meter)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			smp, err := sampler.New(sampler.Config{
+				BatchSize:       cfg.BatchSize,
+				NegPerPos:       cfg.NegPerPos,
+				ChunkSize:       cfg.ChunkSize,
+				NumEntity:       cfg.Graph.NumEntity,
+				Filter:          cfg.Filter,
+				NegativeWeights: cfg.NegativeWeights,
+			}, sub, rng)
+			if err != nil {
+				return nil, err
+			}
+			w := &worker{
+				id:      id,
+				machine: m,
+				smp:     smp,
+				client:  client,
+				meter:   meter,
+				cfg:     cfg,
+				rows:    make(map[ps.Key][]float32),
+			}
+			if withCache {
+				hot, err := cache.New(client, cfg.NewOptimizer(), cfg.Cache.SyncEvery)
+				if err != nil {
+					return nil, err
+				}
+				w.hot = hot
+			}
+			workers = append(workers, w)
+			id++
+		}
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("train: no worker received any triples")
+	}
+	return workers, nil
+}
+
+// nextBatch returns the next batch to train on: a queued prefetched batch if
+// one exists, otherwise a fresh sample.
+func (w *worker) nextBatch() *sampler.Batch {
+	if len(w.queued) > 0 {
+		b := w.queued[0]
+		w.queued = w.queued[1:]
+		return b
+	}
+	return w.smp.Next()
+}
+
+// processBatch runs workflow steps 2–4 (§IV-B) for one mini-batch: gather
+// rows (cache first, then PS), compute gradients, update cached copies, and
+// push all gradients to the PS. It returns the batch's mean pair loss.
+func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
+	// Step 2: load embeddings — hot table first, parameter server for the
+	// rest.
+	ents, rels := b.DistinctIDs()
+	clear(w.rows)
+	var missing []ps.Key
+	gather := func(k ps.Key) {
+		if w.hot != nil {
+			if row, ok := w.hot.Get(k, w.iteration); ok {
+				w.rows[k] = row
+				return
+			}
+		}
+		missing = append(missing, k)
+	}
+	for _, e := range ents {
+		gather(ps.EntityKey(e))
+	}
+	for _, r := range rels {
+		gather(ps.RelationKey(r))
+	}
+	if len(missing) > 0 {
+		if err := w.client.Pull(missing, w.rows); err != nil {
+			return 0, err
+		}
+		if w.hot != nil {
+			// Freshly pulled hot rows re-enter the table with a reset
+			// staleness clock (the per-row synchronization of Alg. 3).
+			for _, k := range missing {
+				w.hot.Offer(k, w.rows[k], w.iteration)
+			}
+		}
+	}
+
+	// Step 3: forward + backward. Gradients accumulate per distinct key.
+	start := time.Now()
+	grads := make(map[ps.Key][]float32, len(w.rows))
+	gradOf := func(k ps.Key) []float32 {
+		g, ok := grads[k]
+		if !ok {
+			g = make([]float32, w.client.Width(k))
+			grads[k] = g
+		}
+		return g
+	}
+	var lossSum float64
+	pairs := 0
+	for i, pos := range b.Pos {
+		h := w.rows[ps.EntityKey(pos.Head)]
+		r := w.rows[ps.RelationKey(pos.Relation)]
+		t := w.rows[ps.EntityKey(pos.Tail)]
+		posScore := w.cfg.Model.Score(h, r, t)
+		ns := b.Neg[i]
+		if len(ns.Entities) == 0 {
+			continue
+		}
+		gh := gradOf(ps.EntityKey(pos.Head))
+		gr := gradOf(ps.RelationKey(pos.Relation))
+		gt := gradOf(ps.EntityKey(pos.Tail))
+		negScores := make([]float32, len(ns.Entities))
+		for j, ne := range ns.Entities {
+			neRow := w.rows[ps.EntityKey(ne)]
+			if ns.CorruptHead {
+				negScores[j] = w.cfg.Model.Score(neRow, r, t)
+			} else {
+				negScores[j] = w.cfg.Model.Score(h, r, neRow)
+			}
+		}
+		weights := negativeWeights(negScores, w.cfg.AdversarialTemp)
+		for j, ne := range ns.Entities {
+			neRow := w.rows[ps.EntityKey(ne)]
+			loss, dPos, dNeg := w.cfg.Loss.PosNeg(posScore, negScores[j])
+			lossSum += float64(loss) * float64(weights[j]) * float64(len(ns.Entities))
+			pairs++
+			scale := weights[j]
+			if dPos != 0 {
+				w.cfg.Model.Grad(h, r, t, dPos*scale, gh, gr, gt)
+			}
+			if dNeg != 0 {
+				gn := gradOf(ps.EntityKey(ne))
+				if ns.CorruptHead {
+					w.cfg.Model.Grad(neRow, r, t, dNeg*scale, gn, gr, gt)
+				} else {
+					w.cfg.Model.Grad(h, r, neRow, dNeg*scale, gh, gr, gn)
+				}
+			}
+		}
+	}
+	w.compTime += time.Since(start)
+
+	// Step 4: apply to cached copies, push everything to the PS.
+	if w.hot != nil {
+		for k, g := range grads {
+			w.hot.Update(k, g)
+		}
+	}
+	if err := w.client.Push(grads); err != nil {
+		return 0, err
+	}
+	w.iteration++
+	if pairs == 0 {
+		return 0, nil
+	}
+	mean := lossSum / float64(pairs)
+	w.lossSum += mean
+	w.lossCount++
+	return mean, nil
+}
+
+// epochStats returns and resets this worker's per-epoch accounting:
+// computation time, simulated communication time, and mean loss.
+func (w *worker) epochStats(cm netsim.CostModel) (comp, comm time.Duration, loss float64) {
+	snap := w.meter.Snapshot()
+	delta := snap.Sub(w.commBase)
+	w.commBase = snap
+	comp = w.compTime
+	w.compTime = 0
+	comm = delta.Time(cm)
+	if w.lossCount > 0 {
+		loss = w.lossSum / float64(w.lossCount)
+	}
+	w.lossSum, w.lossCount = 0, 0
+	return comp, comm, loss
+}
+
+// negativeWeights returns the per-negative gradient weights: uniform 1/n
+// when temp = 0, or the self-adversarial softmax(temp · score) otherwise
+// (hard negatives — those the model scores highest — get more weight).
+func negativeWeights(scores []float32, temp float32) []float32 {
+	n := len(scores)
+	out := make([]float32, n)
+	if n == 0 {
+		return out
+	}
+	if temp <= 0 {
+		u := 1 / float32(n)
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		e := math.Exp(float64(temp * (s - maxS)))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
