@@ -1,0 +1,24 @@
+# Tier-1: build + unit tests (the gate every change must keep green).
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-2: static analysis + the full suite under the race detector.
+# The parallel execution engine (internal/par) and everything built on it
+# must stay data-race free at any parallelism.
+.PHONY: check
+check:
+	go vet ./...
+	go test -race ./...
+
+# Hot-path and experiment benchmarks with allocation counts.
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem -run '^$$' .
+
+# Just the execution-engine benchmarks (batch compute + evaluation) at
+# serial vs full parallelism.
+.PHONY: bench-par
+bench-par:
+	go test -bench 'BenchmarkProcessBatch|BenchmarkEvaluate' -benchmem -run '^$$' .

@@ -15,18 +15,23 @@ package hetkg
 //	go run ./cmd/hetkg-bench -exp all -scale small
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"hetkg/internal/cache"
 	"hetkg/internal/core"
 	"hetkg/internal/dataset"
+	"hetkg/internal/eval"
 	"hetkg/internal/kg"
 	"hetkg/internal/model"
 	"hetkg/internal/opt"
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
 	"hetkg/internal/sampler"
+	"hetkg/internal/train"
+	"hetkg/internal/vec"
 )
 
 // benchExperiment runs a registered experiment once per iteration.
@@ -256,6 +261,100 @@ func BenchmarkPSPullPush(b *testing.B) {
 		if err := client.Push(map[ps.Key][]float32{keys[i%len(keys)]: grad}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchDegrees deduplicates the parallelism settings worth comparing on
+// this machine: serial, a mid point, and every core.
+func benchDegrees() []int {
+	degrees := []int{1, 4, runtime.NumCPU()}
+	seen := make(map[int]bool)
+	var out []int
+	for _, p := range degrees {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BenchmarkProcessBatch measures the worker's batch hot path — gather,
+// sharded gradient compute, ordered merge, push — at serial and full
+// parallelism, reporting ns per (positive, negative) pair and allocs/op.
+// The workload matches the paper's compute-bound regime: d = 128 with 64
+// negatives per positive.
+func BenchmarkProcessBatch(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	for _, p := range benchDegrees() {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			bb, err := train.NewBatchBench(train.Config{
+				Graph:       g,
+				Model:       model.TransE{Norm: 1},
+				Loss:        model.LogisticLoss{},
+				Dim:         128,
+				LR:          0.1,
+				Epochs:      1,
+				BatchSize:   256,
+				NegPerPos:   64,
+				ChunkSize:   16,
+				NumMachines: 1,
+				Seed:        7,
+				Parallelism: p,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bb.ProcessBatch(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bb.Pairs()), "ns/pair")
+		})
+	}
+}
+
+// BenchmarkEvaluate measures parallel link-prediction ranking in the
+// sampled-candidate protocol, reporting ns per (triple, side) ranking.
+func BenchmarkEvaluate(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	rng := rand.New(rand.NewSource(3))
+	ents := vec.NewMatrix(g.NumEntity, 128)
+	rels := vec.NewMatrix(g.NumRel, 128)
+	for _, m := range []*vec.Matrix{ents, rels} {
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = rng.Float32() - 0.5
+			}
+		}
+	}
+	test := g.Triples
+	if len(test) > 256 {
+		test = test[:256]
+	}
+	for _, p := range benchDegrees() {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			cfg := eval.Config{
+				Model:         model.TransE{Norm: 1},
+				Entities:      ents,
+				Relations:     rels,
+				NumCandidates: 200,
+				Seed:          5,
+				Parallelism:   p,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Evaluate(cfg, test); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*2*len(test)), "ns/ranking")
+		})
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		maxTriples = flag.Int("max", 1000, "maximum test triples to score (0 = all)")
 		filtered   = flag.Bool("filtered", true, "exclude known positives from candidate rankings")
 		task       = flag.String("task", "linkpred", "evaluation task: linkpred | classify")
+		parallel   = flag.Int("parallelism", 0, "cores used to rank test triples (0 = all; results identical at any value)")
 	)
 	flag.Parse()
 	if *ckptPath == "" {
@@ -89,6 +90,7 @@ func main() {
 		Filter:        filter,
 		NumCandidates: *candidates,
 		Seed:          c.Seed + 99,
+		Parallelism:   *parallel,
 	}
 	fmt.Printf("checkpoint %s: model=%s dim=%d dataset=%s system=%s epochs=%d\n",
 		*ckptPath, c.ModelName, c.Dim, c.Dataset, c.System, c.Epochs)

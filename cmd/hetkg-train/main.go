@@ -49,6 +49,7 @@ func main() {
 		machine  = flag.Int("machine", -1, "run only this machine's workers (-1 = all; requires -shards for a real deployment)")
 		advTemp  = flag.Float64("adversarial", 0, "self-adversarial negative sampling temperature (0 = off)")
 		degNegs  = flag.Bool("degree-negatives", false, "corrupt with degree^0.75-weighted entities (hard negatives)")
+		parallel = flag.Int("parallelism", 0, "cores for batch compute and evaluation (0 = all; results identical at any value)")
 	)
 	flag.Parse()
 
@@ -122,6 +123,7 @@ func main() {
 		LocalMachines:           localMachines(*machine),
 		AdversarialTemp:         float32(*advTemp),
 		DegreeWeightedNegatives: *degNegs,
+		Parallelism:             *parallel,
 		Seed:                    *seed,
 	})
 	if err != nil {

@@ -117,6 +117,11 @@ type RunConfig struct {
 	EvalCandidates int
 	EvalMax        int
 
+	// Parallelism bounds the cores used by the deterministic parallel
+	// execution engine for batch compute and evaluation ranking
+	// (0 = all cores; 1 = serial; results identical at any setting).
+	Parallelism int
+
 	Seed int64
 }
 
@@ -275,6 +280,7 @@ func Run(rc RunConfig) (*train.Result, error) {
 		EvalEvery:         rc.EvalEvery,
 		EvalCandidates:    rc.EvalCandidates,
 		EvalMax:           rc.EvalMax,
+		Parallelism:       rc.Parallelism,
 		Seed:              rc.Seed,
 		NewOptimizer:      newOpt,
 		Quantize8Bit:      rc.Quantize8Bit,

@@ -7,6 +7,12 @@
 // sampled-candidate protocol (rank against n_e random negatives, which the
 // paper uses on Freebase-86m where full ranking is infeasible) are
 // supported, in raw and filtered variants.
+//
+// Rankings are independent across test triples, so they run on the parallel
+// execution engine (internal/par): Config.Parallelism bounds the cores, and
+// sampled-candidate mode stays deterministic at any degree because each
+// (triple, side) ranking derives its own RNG from Config.Seed and its index
+// instead of sharing one sequential stream.
 package eval
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"hetkg/internal/kg"
 	"hetkg/internal/model"
+	"hetkg/internal/par"
 	"hetkg/internal/vec"
 )
 
@@ -34,10 +41,15 @@ type Config struct {
 	// entities plus the true one (0 ranks against every entity). The
 	// paper's Freebase-86m runs use n_e = 1000.
 	NumCandidates int
-	// Seed drives candidate sampling.
+	// Seed drives candidate sampling. Each ranked (triple, side) item
+	// derives an independent RNG from Seed and its index, so results do
+	// not depend on Parallelism.
 	Seed int64
 	// Hits lists the cutoffs to report (default 1, 3, 10).
 	Hits []int
+	// Parallelism bounds the cores used to rank test triples
+	// (0 = runtime.GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // Result aggregates the link-prediction metrics.
@@ -59,7 +71,9 @@ func (r Result) String() string {
 }
 
 // Evaluate ranks every test triple with both head and tail corruption and
-// aggregates the metrics.
+// aggregates the metrics. Rankings run concurrently under cfg.Parallelism;
+// aggregation walks the ranks in test order, so the result is identical at
+// any degree.
 func Evaluate(cfg Config, test []kg.Triple) (Result, error) {
 	if cfg.Model == nil || cfg.Entities == nil || cfg.Relations == nil {
 		return Result{}, fmt.Errorf("eval: model and embedding tables are required")
@@ -71,26 +85,25 @@ func Evaluate(cfg Config, test []kg.Triple) (Result, error) {
 	if len(hits) == 0 {
 		hits = []int{1, 3, 10}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := cfg.fullCandidates()
+	// Item 2i ranks test[i] under head corruption, item 2i+1 under tail
+	// corruption — the same order the serial protocol walked.
+	ranks := par.Map(par.Degree(cfg.Parallelism), 2*len(test), func(i int) int {
+		return rankOne(cfg, test[i/2], i%2 == 0, cfg.itemRNG(i), full)
+	})
+
 	agg := Result{Hits: make(map[int]float64, len(hits))}
 	var sumRR, sumRank float64
 	hitCounts := make(map[int]int, len(hits))
-
-	for _, tr := range test {
-		for _, side := range []bool{true, false} { // corrupt head, then tail
-			rank, err := rankOne(cfg, tr, side, rng)
-			if err != nil {
-				return Result{}, err
+	for _, rank := range ranks {
+		sumRR += 1 / float64(rank)
+		sumRank += float64(rank)
+		for _, k := range hits {
+			if rank <= k {
+				hitCounts[k]++
 			}
-			sumRR += 1 / float64(rank)
-			sumRank += float64(rank)
-			for _, k := range hits {
-				if rank <= k {
-					hitCounts[k]++
-				}
-			}
-			agg.N++
 		}
+		agg.N++
 	}
 	agg.MRR = sumRR / float64(agg.N)
 	agg.MR = sumRank / float64(agg.N)
@@ -100,16 +113,46 @@ func Evaluate(cfg Config, test []kg.Triple) (Result, error) {
 	return agg, nil
 }
 
+// itemRNG derives ranking item i's private RNG stream. A splitmix-style
+// finalizer decorrelates the streams of neighboring indices.
+func (cfg Config) itemRNG(i int) *rand.Rand {
+	x := uint64(cfg.Seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// fullCandidates returns the shared all-entities candidate list when the
+// run ranks against every entity, or nil in sampled-candidate mode. Shared
+// read-only across ranking goroutines.
+func (cfg Config) fullCandidates() []kg.EntityID {
+	n := cfg.Entities.Rows
+	if cfg.NumCandidates > 0 && cfg.NumCandidates < n {
+		return nil
+	}
+	all := make([]kg.EntityID, n)
+	for i := range all {
+		all[i] = kg.EntityID(i)
+	}
+	return all
+}
+
 // rankOne ranks the true entity of tr (head if corruptHead) among candidate
 // corruptions. Ties count half, the standard "average" tie policy, so
 // constant scoring functions get chance-level rather than perfect ranks.
-func rankOne(cfg Config, tr kg.Triple, corruptHead bool, rng *rand.Rand) (int, error) {
+func rankOne(cfg Config, tr kg.Triple, corruptHead bool, rng *rand.Rand, full []kg.EntityID) int {
 	r := cfg.Relations.Row(int(tr.Relation))
 	h := cfg.Entities.Row(int(tr.Head))
 	t := cfg.Entities.Row(int(tr.Tail))
 	trueScore := cfg.Model.Score(h, r, t)
 
-	candidates := cfg.candidates(tr, corruptHead, rng)
+	candidates := full
+	if candidates == nil {
+		candidates = cfg.sampleCandidates(tr, corruptHead, rng)
+	}
 	higher, equal := 0, 0
 	for _, e := range candidates {
 		if corruptHead && e == tr.Head || !corruptHead && e == tr.Tail {
@@ -141,19 +184,12 @@ func rankOne(cfg Config, tr kg.Triple, corruptHead bool, rng *rand.Rand) (int, e
 	if equal > 0 {
 		rank += (equal + 1) / 2 // average tie position, rounded up
 	}
-	return rank, nil
+	return rank
 }
 
-// candidates returns the corrupting entity ids to rank against.
-func (cfg Config) candidates(tr kg.Triple, corruptHead bool, rng *rand.Rand) []kg.EntityID {
+// sampleCandidates draws NumCandidates distinct corrupting entity ids.
+func (cfg Config) sampleCandidates(tr kg.Triple, corruptHead bool, rng *rand.Rand) []kg.EntityID {
 	n := cfg.Entities.Rows
-	if cfg.NumCandidates <= 0 || cfg.NumCandidates >= n {
-		all := make([]kg.EntityID, n)
-		for i := range all {
-			all[i] = kg.EntityID(i)
-		}
-		return all
-	}
 	seen := make(map[kg.EntityID]struct{}, cfg.NumCandidates)
 	out := make([]kg.EntityID, 0, cfg.NumCandidates)
 	for len(out) < cfg.NumCandidates {
@@ -172,17 +208,16 @@ func (cfg Config) candidates(tr kg.Triple, corruptHead bool, rng *rand.Rand) []k
 
 // RankTriples is a diagnostic helper: it returns each test triple's
 // tail-corruption rank, sorted ascending, for inspecting the rank
-// distribution behind an MRR value.
+// distribution behind an MRR value. Rankings run under cfg.Parallelism with
+// per-triple derived RNGs, so the distribution is degree-independent.
 func RankTriples(cfg Config, test []kg.Triple) ([]int, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ranks := make([]int, 0, len(test))
-	for _, tr := range test {
-		rank, err := rankOne(cfg, tr, false, rng)
-		if err != nil {
-			return nil, err
-		}
-		ranks = append(ranks, rank)
+	if cfg.Model == nil || cfg.Entities == nil || cfg.Relations == nil {
+		return nil, fmt.Errorf("eval: model and embedding tables are required")
 	}
+	full := cfg.fullCandidates()
+	ranks := par.Map(par.Degree(cfg.Parallelism), len(test), func(i int) int {
+		return rankOne(cfg, test[i], false, cfg.itemRNG(i), full)
+	})
 	sort.Ints(ranks)
 	return ranks, nil
 }
@@ -198,16 +233,16 @@ func ByRelation(cfg Config, test []kg.Triple) (map[kg.RelationID]Result, error) 
 	if len(hits) == 0 {
 		hits = []int{1, 3, 10}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := cfg.fullCandidates()
+	ranks := par.Map(par.Degree(cfg.Parallelism), len(test), func(i int) int {
+		return rankOne(cfg, test[i], false, cfg.itemRNG(i), full)
+	})
 	sumRR := map[kg.RelationID]float64{}
 	sumRank := map[kg.RelationID]float64{}
 	hitCount := map[kg.RelationID]map[int]int{}
 	n := map[kg.RelationID]int{}
-	for _, tr := range test {
-		rank, err := rankOne(cfg, tr, false, rng)
-		if err != nil {
-			return nil, err
-		}
+	for i, tr := range test {
+		rank := ranks[i]
 		sumRR[tr.Relation] += 1 / float64(rank)
 		sumRank[tr.Relation] += float64(rank)
 		if hitCount[tr.Relation] == nil {

@@ -1,5 +1,7 @@
 package model
 
+import "hetkg/internal/vec"
+
 // RESCAL (Nickel et al.) is the full bilinear semantic-matching model the
 // paper's related work builds on: each relation is a d×d interaction matrix
 // M_r and score(h, r, t) = hᵀ M_r t. DistMult is RESCAL restricted to
@@ -22,32 +24,30 @@ func (RESCAL) Score(h, r, t []float32) float32 {
 	d := len(h)
 	var s float32
 	for i := 0; i < d; i++ {
-		row := r[i*d : (i+1)*d]
-		var mt float32
-		for j := 0; j < d; j++ {
-			mt += row[j] * t[j]
-		}
-		s += h[i] * mt
+		s += h[i] * vec.Dot(r[i*d:(i+1)*d], t)
 	}
 	return s
 }
 
 // Grad implements Model:
 // ∂/∂h_i = (M t)_i, ∂/∂t_j = (Mᵀ h)_j, ∂/∂M_ij = h_i t_j.
+//
+// The ∂/∂t accumulation and the M·t reduction that ∂/∂h needs traverse the
+// same matrix row, so they fuse through vec.DotAxpy; the per-element nil
+// checks of the naive loop are hoisted to row granularity.
 func (RESCAL) Grad(h, r, t []float32, dScore float32, gh, gr, gt []float32) {
 	d := len(h)
 	for i := 0; i < d; i++ {
 		row := r[i*d : (i+1)*d]
-		hi := h[i]
+		a := dScore * h[i]
 		var mt float32
-		for j := 0; j < d; j++ {
-			mt += row[j] * t[j]
-			if gt != nil {
-				gt[j] += dScore * hi * row[j]
-			}
-			if gr != nil {
-				gr[i*d+j] += dScore * hi * t[j]
-			}
+		if gt != nil {
+			mt = vec.DotAxpy(gt, a, row, t)
+		} else {
+			mt = vec.Dot(row, t)
+		}
+		if gr != nil {
+			vec.Axpy(gr[i*d:(i+1)*d], a, t)
 		}
 		if gh != nil {
 			gh[i] += dScore * mt

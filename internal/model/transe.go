@@ -139,11 +139,7 @@ func (TransH) Score(h, r, t []float32) float32 {
 	if wn == 0 {
 		wn = 1
 	}
-	var wh, wt float32
-	for i := 0; i < d; i++ {
-		wh += w[i] * h[i]
-		wt += w[i] * t[i]
-	}
+	wh, wt := vec.Dot2(w, h, t)
 	wh /= wn * wn
 	wt /= wn * wn
 	var s float32
@@ -165,25 +161,25 @@ func (TransH) Grad(h, r, t []float32, dScore float32, gh, gr, gt []float32) {
 		wn = 1
 	}
 	inv := 1 / (wn * wn)
-	var wh, wt float32
-	for i := 0; i < d; i++ {
-		wh += w[i] * h[i]
-		wt += w[i] * t[i]
-	}
+	wh, wt := vec.Dot2(w, h, t)
 	wh *= inv
 	wt *= inv
 	// diff_i = h⊥_i + dr_i - t⊥_i ;  Score = -Σ diff².
 	// ∂Score/∂dr_i = -2 diff_i.
 	// ∂Score/∂h_j = -2 Σ_i diff_i ∂diff_i/∂h_j with ∂diff_i/∂h_j =
 	// δ_ij - w_i w_j inv (projection matrix), symmetric for t with flipped sign.
-	diff := make([]float32, d)
+	//
+	// diff is five flops per element, so the second pass recomputes it
+	// instead of staging it in a scratch slice — the gradient path stays
+	// allocation-free (Grad runs once per scored pair in the training hot
+	// loop).
 	var wDotDiff float32
 	for i := 0; i < d; i++ {
-		diff[i] = (h[i] - wh*w[i]) + dr[i] - (t[i] - wt*w[i])
-		wDotDiff += w[i] * diff[i]
+		wDotDiff += w[i] * ((h[i] - wh*w[i]) + dr[i] - (t[i] - wt*w[i]))
 	}
 	for j := 0; j < d; j++ {
-		proj := diff[j] - wDotDiff*inv*w[j]
+		diffJ := (h[j] - wh*w[j]) + dr[j] - (t[j] - wt*w[j])
+		proj := diffJ - wDotDiff*inv*w[j]
 		if gh != nil {
 			gh[j] += dScore * -2 * proj
 		}
@@ -191,10 +187,10 @@ func (TransH) Grad(h, r, t []float32, dScore float32, gh, gr, gt []float32) {
 			gt[j] += dScore * 2 * proj
 		}
 		if gr != nil {
-			gr[j] += dScore * -2 * diff[j] // ∂/∂dr
+			gr[j] += dScore * -2 * diffJ // ∂/∂dr
 			// ∂/∂w via the projection terms, treating wn as constant:
 			// diff depends on w through -wh·w_j + wt·w_j and through wh,wt.
-			gw := -2 * (-(wh-wt)*diff[j] - wDotDiff*inv*(h[j]-t[j]))
+			gw := -2 * (-(wh-wt)*diffJ - wDotDiff*inv*(h[j]-t[j]))
 			gr[d+j] += dScore * gw
 		}
 	}

@@ -1,0 +1,43 @@
+package train
+
+import (
+	"hetkg/internal/sampler"
+)
+
+// BatchBench is a single-worker harness exposing the processBatch hot path
+// to the repository's benchmark suite (bench_test.go), which lives outside
+// this package. It builds the full PS substrate for cfg, takes the first
+// worker, and replays one sampled batch so iterations measure pure
+// gather/compute/push work with a stable working set.
+type BatchBench struct {
+	w *worker
+	b *sampler.Batch
+}
+
+// NewBatchBench validates cfg, builds the cluster and workers (no cache —
+// the DGL-KE-style path the paper's compute profile measures), and samples
+// the batch to replay.
+func NewBatchBench(cfg Config) (*BatchBench, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := setupPS(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers, err := newWorkers(&cfg, env.cluster, env.part, env.tr, false)
+	if err != nil {
+		return nil, err
+	}
+	w := workers[0]
+	return &BatchBench{w: w, b: w.smp.Next()}, nil
+}
+
+// Pairs returns the number of (positive, negative) score pairs the batch
+// expands to — the denominator for ns/pair metrics.
+func (bb *BatchBench) Pairs() int { return bb.b.NumNegatives() }
+
+// ProcessBatch pushes the replayed batch through the worker hot path once.
+func (bb *BatchBench) ProcessBatch() (float64, error) {
+	return bb.w.processBatch(bb.b)
+}

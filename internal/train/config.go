@@ -77,6 +77,14 @@ type Config struct {
 	// Seed drives every random choice in the run.
 	Seed int64
 
+	// Parallelism bounds the cores the deterministic parallel execution
+	// engine (internal/par) uses for within-batch gradient computation and
+	// validation ranking. 0 means runtime.GOMAXPROCS (all cores); 1 runs
+	// serial. Losses and metrics are bit-identical at every setting: batch
+	// compute merges fixed shards in order and evaluation derives one RNG
+	// per test triple, so parallelism changes wall-clock only.
+	Parallelism int
+
 	// Cache configures HET-KG's hot-embedding table; ignored by the
 	// baseline trainers.
 	Cache CacheConfig
@@ -245,5 +253,6 @@ func evalNow(cfg *Config, ents, rels *vec.Matrix) (eval.Result, error) {
 		Filter:        cfg.Filter,
 		NumCandidates: cfg.EvalCandidates,
 		Seed:          cfg.Seed + 1000,
+		Parallelism:   cfg.Parallelism,
 	}, test)
 }

@@ -41,6 +41,9 @@ func TrainPBG(cfg Config) (*Result, error) {
 		relOpt:  cfg.NewOptimizer(),
 		rng:     rng,
 		relGrad: vec.NewMatrix(cfg.Graph.NumRel, relDim),
+		gh:      make([]float32, entDim),
+		gt:      make([]float32, entDim),
+		gn:      make([]float32, entDim),
 	}
 	st.ents.InitKGE(rng)
 	st.rels.InitUniform(rng, 6/float32sqrt(relDim))
@@ -142,6 +145,7 @@ type pbgState struct {
 	bucketOf   []int32
 	bucketSize []int
 	relGrad    *vec.Matrix // scratch: per-pair dense relation gradient
+	gh, gt, gn []float32   // scratch: per-edge entity gradients, zeroed per use
 	traffic    netsim.Snapshot
 }
 
@@ -190,8 +194,9 @@ func (st *pbgState) trainPair(pk [2]int32, edges []kg.Triple, members [][]kg.Ent
 		r := st.rels.Row(int(tr.Relation))
 		t := st.ents.Row(int(tr.Tail))
 		posScore := cfg.Model.Score(h, r, t)
-		gh := make([]float32, entDim)
-		gt := make([]float32, entDim)
+		gh, gt := st.gh, st.gt
+		vec.Zero(gh)
+		vec.Zero(gt)
 		gr := st.relGrad.Row(int(tr.Relation))
 		scale := float32(1) / float32(cfg.NegPerPos)
 		for n := 0; n < cfg.NegPerPos; n++ {
@@ -205,7 +210,8 @@ func (st *pbgState) trainPair(pk [2]int32, edges []kg.Triple, members [][]kg.Ent
 				cfg.Model.Grad(h, r, t, dPos*scale, gh, gr, gt)
 			}
 			if dNeg != 0 {
-				gn := make([]float32, entDim)
+				gn := st.gn
+				vec.Zero(gn)
 				cfg.Model.Grad(h, r, neRow, dNeg*scale, gn, gr, nil)
 				st.entOpt.Apply(uint64(ne), neRow, gn)
 			}

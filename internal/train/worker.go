@@ -8,17 +8,30 @@ import (
 
 	"hetkg/internal/cache"
 	"hetkg/internal/netsim"
+	"hetkg/internal/par"
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
 	"hetkg/internal/sampler"
+	"hetkg/internal/vec"
 )
+
+// batchShards is the fixed shard grid for within-batch parallel gradient
+// computation. Shard boundaries must not depend on the parallelism degree
+// (see internal/par), so the grid is a constant: positives are split into at
+// most batchShards contiguous ranges, each range accumulates gradients into
+// private scratch, and the partial sums merge in shard order. Parallelism-1
+// and parallelism-N runs therefore produce bit-identical results; the
+// constant also caps useful within-batch parallelism at 32 cores, the
+// paper's per-machine core count.
+const batchShards = 32
 
 // worker is one training worker: a sampler over its machine's subgraph, a
 // PS client, an optional hot-embedding cache, and per-epoch accounting.
 // Workers are driven round-robin by the trainers — one batch per turn — so
 // asynchronous interleaving (worker A missing worker B's fresh pushes until
 // cache refresh) is reproduced deterministically; per-worker clocks model
-// what would run in parallel on separate machines.
+// what would run in parallel on separate machines. Within a turn, the
+// batch's gradient computation fans out across cores (processBatch).
 type worker struct {
 	id      int
 	machine int
@@ -27,8 +40,10 @@ type worker struct {
 	meter   *netsim.Meter
 	hot     *cache.HotCache // nil for cacheless trainers
 
-	cfg  *Config
-	rows map[ps.Key][]float32 // per-batch working set (pulled + cached)
+	cfg    *Config
+	degree int                  // resolved compute parallelism
+	rows   map[ps.Key][]float32 // per-batch working set (pulled + cached)
+	scr    *batchScratch        // worker-owned arena, reused across batches
 
 	// queued holds prefetched batches to replay (HET-KG).
 	queued []*sampler.Batch
@@ -97,6 +112,7 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 				client:  client,
 				meter:   meter,
 				cfg:     cfg,
+				degree:  par.Degree(cfg.Parallelism),
 				rows:    make(map[ps.Key][]float32),
 			}
 			if withCache {
@@ -117,25 +133,104 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 }
 
 // nextBatch returns the next batch to train on: a queued prefetched batch if
-// one exists, otherwise a fresh sample.
+// one exists, otherwise a fresh sample. The popped slot is nilled so the
+// backing array does not pin replayed batches until the whole queue cycles.
 func (w *worker) nextBatch() *sampler.Batch {
 	if len(w.queued) > 0 {
 		b := w.queued[0]
+		w.queued[0] = nil
 		w.queued = w.queued[1:]
 		return b
 	}
 	return w.smp.Next()
 }
 
+// gradBuf is a reusable keyed gradient accumulator: a map from embedding key
+// to gradient row, backed by a grow-only pool of max-width rows so steady
+// state allocates nothing per batch. Rows are zeroed on acquisition.
+type gradBuf struct {
+	m    map[ps.Key][]float32
+	pool [][]float32
+	used int
+	maxW int
+}
+
+func newGradBuf(maxW int) *gradBuf {
+	return &gradBuf{m: make(map[ps.Key][]float32), maxW: maxW}
+}
+
+// reset empties the accumulator, returning every pooled row.
+func (g *gradBuf) reset() {
+	clear(g.m)
+	g.used = 0
+}
+
+// row returns k's gradient row of width w, acquiring and zeroing a pooled
+// row on first touch.
+func (g *gradBuf) row(k ps.Key, w int) []float32 {
+	if r, ok := g.m[k]; ok {
+		return r
+	}
+	if g.used == len(g.pool) {
+		g.pool = append(g.pool, make([]float32, g.maxW))
+	}
+	r := g.pool[g.used][:w]
+	g.used++
+	vec.Zero(r)
+	g.m[k] = r
+	return r
+}
+
+// shardScratch is one compute shard's private accumulation state. Shards
+// never share scratch, so the parallel gradient pass needs no locks; the
+// trainer merges shard results in fixed shard order afterwards.
+type shardScratch struct {
+	grads     *gradBuf
+	negScores []float32
+	weights   []float32
+	lossSum   float64
+	pairs     int
+}
+
+// batchScratch is the worker-owned arena reused across batches: per-shard
+// accumulators, the merged gradient buffer handed to the cache and the PS,
+// and the miss list of the gather step.
+type batchScratch struct {
+	maxW    int
+	shards  []*shardScratch
+	merged  *gradBuf
+	missing []ps.Key
+}
+
+// scratch lazily builds the arena (row widths are only known once the
+// client exists).
+func (w *worker) scratch() *batchScratch {
+	if w.scr == nil {
+		maxW := w.client.Width(ps.EntityKey(0))
+		if rw := w.client.Width(ps.RelationKey(0)); rw > maxW {
+			maxW = rw
+		}
+		w.scr = &batchScratch{maxW: maxW, merged: newGradBuf(maxW)}
+	}
+	return w.scr
+}
+
 // processBatch runs workflow steps 2–4 (§IV-B) for one mini-batch: gather
 // rows (cache first, then PS), compute gradients, update cached copies, and
 // push all gradients to the PS. It returns the batch's mean pair loss.
+//
+// The gradient pass (step 3) runs on the parallel execution engine: the
+// batch's positives split over the fixed batchShards grid, each shard
+// accumulates into private scratch, and partial gradients and losses merge
+// in shard order — deterministic at any Config.Parallelism.
 func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
+	scr := w.scratch()
+
 	// Step 2: load embeddings — hot table first, parameter server for the
-	// rest.
+	// rest. Serial: the hot cache is confined to the worker goroutine.
 	ents, rels := b.DistinctIDs()
 	clear(w.rows)
-	var missing []ps.Key
+	missing := scr.missing[:0]
 	gather := func(k ps.Key) {
 		if w.hot != nil {
 			if row, ok := w.hot.Get(k, w.iteration); ok {
@@ -151,6 +246,7 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 	for _, r := range rels {
 		gather(ps.RelationKey(r))
 	}
+	scr.missing = missing // keep the grown backing array for reuse
 	if len(missing) > 0 {
 		if err := w.client.Pull(missing, w.rows); err != nil {
 			return 0, err
@@ -164,69 +260,45 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 		}
 	}
 
-	// Step 3: forward + backward. Gradients accumulate per distinct key.
+	// Step 3: forward + backward, sharded across cores.
 	start := time.Now()
-	grads := make(map[ps.Key][]float32, len(w.rows))
-	gradOf := func(k ps.Key) []float32 {
-		g, ok := grads[k]
-		if !ok {
-			g = make([]float32, w.client.Width(k))
-			grads[k] = g
-		}
-		return g
+	shards := par.Shards(len(b.Pos), batchShards)
+	for len(scr.shards) < len(shards) {
+		scr.shards = append(scr.shards, &shardScratch{grads: newGradBuf(scr.maxW)})
 	}
+	for s := range shards {
+		sc := scr.shards[s]
+		sc.grads.reset()
+		sc.lossSum, sc.pairs = 0, 0
+	}
+	par.For(w.degree, len(shards), func(s int) {
+		w.computeShard(scr.shards[s], b, shards[s])
+	})
+
+	// Ordered merge: shard partials combine in shard order, so the per-key
+	// float sums do not depend on how shards were scheduled.
+	merged := scr.merged
+	merged.reset()
 	var lossSum float64
 	pairs := 0
-	for i, pos := range b.Pos {
-		h := w.rows[ps.EntityKey(pos.Head)]
-		r := w.rows[ps.RelationKey(pos.Relation)]
-		t := w.rows[ps.EntityKey(pos.Tail)]
-		posScore := w.cfg.Model.Score(h, r, t)
-		ns := b.Neg[i]
-		if len(ns.Entities) == 0 {
-			continue
+	for s := range shards {
+		sc := scr.shards[s]
+		for k, g := range sc.grads.m {
+			dst := merged.row(k, len(g))
+			vec.Add(dst, dst, g)
 		}
-		gh := gradOf(ps.EntityKey(pos.Head))
-		gr := gradOf(ps.RelationKey(pos.Relation))
-		gt := gradOf(ps.EntityKey(pos.Tail))
-		negScores := make([]float32, len(ns.Entities))
-		for j, ne := range ns.Entities {
-			neRow := w.rows[ps.EntityKey(ne)]
-			if ns.CorruptHead {
-				negScores[j] = w.cfg.Model.Score(neRow, r, t)
-			} else {
-				negScores[j] = w.cfg.Model.Score(h, r, neRow)
-			}
-		}
-		weights := negativeWeights(negScores, w.cfg.AdversarialTemp)
-		for j, ne := range ns.Entities {
-			neRow := w.rows[ps.EntityKey(ne)]
-			loss, dPos, dNeg := w.cfg.Loss.PosNeg(posScore, negScores[j])
-			lossSum += float64(loss) * float64(weights[j]) * float64(len(ns.Entities))
-			pairs++
-			scale := weights[j]
-			if dPos != 0 {
-				w.cfg.Model.Grad(h, r, t, dPos*scale, gh, gr, gt)
-			}
-			if dNeg != 0 {
-				gn := gradOf(ps.EntityKey(ne))
-				if ns.CorruptHead {
-					w.cfg.Model.Grad(neRow, r, t, dNeg*scale, gn, gr, gt)
-				} else {
-					w.cfg.Model.Grad(h, r, neRow, dNeg*scale, gh, gr, gn)
-				}
-			}
-		}
+		lossSum += sc.lossSum
+		pairs += sc.pairs
 	}
 	w.compTime += time.Since(start)
 
 	// Step 4: apply to cached copies, push everything to the PS.
 	if w.hot != nil {
-		for k, g := range grads {
+		for k, g := range merged.m {
 			w.hot.Update(k, g)
 		}
 	}
-	if err := w.client.Push(grads); err != nil {
+	if err := w.client.Push(merged.m); err != nil {
 		return 0, err
 	}
 	w.iteration++
@@ -237,6 +309,72 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 	w.lossSum += mean
 	w.lossCount++
 	return mean, nil
+}
+
+// computeShard scores and differentiates the positives in r against their
+// negatives, accumulating gradients and loss into sc. It reads w.rows and
+// the model/loss concurrently with other shards (all immutable during the
+// pass) and writes only shard-private state.
+func (w *worker) computeShard(sc *shardScratch, b *sampler.Batch, r par.Range) {
+	mdl, loss := w.cfg.Model, w.cfg.Loss
+	for i := r.Begin; i < r.End; i++ {
+		pos := b.Pos[i]
+		ns := b.Neg[i]
+		if len(ns.Entities) == 0 {
+			continue
+		}
+		h := w.rows[ps.EntityKey(pos.Head)]
+		rel := w.rows[ps.RelationKey(pos.Relation)]
+		t := w.rows[ps.EntityKey(pos.Tail)]
+		posScore := mdl.Score(h, rel, t)
+		gh := sc.grads.row(ps.EntityKey(pos.Head), len(h))
+		gr := sc.grads.row(ps.RelationKey(pos.Relation), len(rel))
+		gt := sc.grads.row(ps.EntityKey(pos.Tail), len(t))
+		negScores := growF32(&sc.negScores, len(ns.Entities))
+		for j, ne := range ns.Entities {
+			neRow := w.rows[ps.EntityKey(ne)]
+			if ns.CorruptHead {
+				negScores[j] = mdl.Score(neRow, rel, t)
+			} else {
+				negScores[j] = mdl.Score(h, rel, neRow)
+			}
+		}
+		weights := growF32(&sc.weights, len(ns.Entities))
+		negativeWeightsInto(weights, negScores, w.cfg.AdversarialTemp)
+		// The positive triple's gradient is linear in the loss derivative,
+		// so the per-negative coefficients sum into one Grad call instead
+		// of |negatives| passes over (h, r, t).
+		var dPosTotal float32
+		for j, ne := range ns.Entities {
+			neRow := w.rows[ps.EntityKey(ne)]
+			l, dPos, dNeg := loss.PosNeg(posScore, negScores[j])
+			sc.lossSum += float64(l) * float64(weights[j]) * float64(len(ns.Entities))
+			sc.pairs++
+			scale := weights[j]
+			dPosTotal += dPos * scale
+			if dNeg != 0 {
+				gn := sc.grads.row(ps.EntityKey(ne), len(neRow))
+				if ns.CorruptHead {
+					mdl.Grad(neRow, rel, t, dNeg*scale, gn, gr, gt)
+				} else {
+					mdl.Grad(h, rel, neRow, dNeg*scale, gh, gr, gn)
+				}
+			}
+		}
+		if dPosTotal != 0 {
+			mdl.Grad(h, rel, t, dPosTotal, gh, gr, gt)
+		}
+	}
+}
+
+// growF32 resizes *buf to n elements, reusing its backing array when
+// possible. Contents are unspecified — callers overwrite every element.
+func growF32(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // epochStats returns and resets this worker's per-epoch accounting:
@@ -259,17 +397,24 @@ func (w *worker) epochStats(cm netsim.CostModel) (comp, comm time.Duration, loss
 // when temp = 0, or the self-adversarial softmax(temp · score) otherwise
 // (hard negatives — those the model scores highest — get more weight).
 func negativeWeights(scores []float32, temp float32) []float32 {
+	out := make([]float32, len(scores))
+	negativeWeightsInto(out, scores, temp)
+	return out
+}
+
+// negativeWeightsInto is the allocation-free form of negativeWeights: it
+// fills out (same length as scores) in place.
+func negativeWeightsInto(out, scores []float32, temp float32) {
 	n := len(scores)
-	out := make([]float32, n)
 	if n == 0 {
-		return out
+		return
 	}
 	if temp <= 0 {
 		u := 1 / float32(n)
 		for i := range out {
 			out[i] = u
 		}
-		return out
+		return
 	}
 	maxS := scores[0]
 	for _, s := range scores[1:] {
@@ -286,5 +431,4 @@ func negativeWeights(scores []float32, temp float32) []float32 {
 	for i := range out {
 		out[i] = float32(float64(out[i]) / sum)
 	}
-	return out
 }

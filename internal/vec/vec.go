@@ -22,6 +22,34 @@ func Dot(a, b []float32) float32 {
 	return s
 }
 
+// DotAxpy fuses an accumulation with an inner product in one pass:
+// dst += alpha*x, returning Dot(x, y). It exists for gradient kernels that
+// would otherwise traverse x twice — once to apply it, once to reduce it
+// against y (RESCAL's row-wise ∂/∂t plus M·t product, for example).
+func DotAxpy(dst []float32, alpha float32, x, y []float32) float32 {
+	checkLen(dst, x)
+	checkLen(x, y)
+	var s float32
+	for i, v := range x {
+		dst[i] += alpha * v
+		s += v * y[i]
+	}
+	return s
+}
+
+// Dot2 returns Dot(a, x) and Dot(a, y) in a single fused pass over a —
+// the two-projection reduction models with relation hyperplanes need
+// (TransH computes wᵀh and wᵀt for every score and gradient).
+func Dot2(a, x, y []float32) (ax, ay float32) {
+	checkLen(a, x)
+	checkLen(a, y)
+	for i, v := range a {
+		ax += v * x[i]
+		ay += v * y[i]
+	}
+	return ax, ay
+}
+
 // Add stores a+b into dst. dst may alias a or b.
 func Add(dst, a, b []float32) {
 	checkLen(a, b)

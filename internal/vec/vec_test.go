@@ -79,6 +79,64 @@ func TestAxpy(t *testing.T) {
 	}
 }
 
+func TestDotAxpyMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		alpha := rng.Float32()*4 - 2
+		dst := randSliceFrom(rng, n)
+		x := randSliceFrom(rng, n)
+		y := randSliceFrom(rng, n)
+		wantDst := make([]float32, n)
+		copy(wantDst, dst)
+		Axpy(wantDst, alpha, x)
+		wantDot := Dot(x, y)
+		got := DotAxpy(dst, alpha, x, y)
+		if got != wantDot {
+			t.Fatalf("DotAxpy dot = %v, want %v", got, wantDot)
+		}
+		for i := range dst {
+			if dst[i] != wantDst[i] {
+				t.Fatalf("DotAxpy dst[%d] = %v, want %v", i, dst[i], wantDst[i])
+			}
+		}
+	}
+}
+
+func TestDotAxpyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	DotAxpy(make([]float32, 2), 1, make([]float32, 3), make([]float32, 3))
+}
+
+func TestDot2MatchesTwoDots(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		a := randSliceFrom(rng, n)
+		x := randSliceFrom(rng, n)
+		y := randSliceFrom(rng, n)
+		ax, ay := Dot2(a, x, y)
+		if wx := Dot(a, x); ax != wx {
+			t.Fatalf("Dot2 ax = %v, want %v", ax, wx)
+		}
+		if wy := Dot(a, y); ay != wy {
+			t.Fatalf("Dot2 ay = %v, want %v", ay, wy)
+		}
+	}
+}
+
+func randSliceFrom(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()*2 - 1
+	}
+	return out
+}
+
 func TestNorms(t *testing.T) {
 	x := []float32{3, -4}
 	if got := L1(x); got != 7 {

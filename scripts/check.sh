@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-2 gate: static analysis plus the full test suite under the race
+# detector. The deterministic parallel engine (internal/par) and the code
+# built on it (train batch compute, eval ranking) must stay race-free at
+# any parallelism, so -race covers every package, not just internal/par.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
