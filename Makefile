@@ -22,3 +22,13 @@ bench:
 .PHONY: bench-par
 bench-par:
 	go test -bench 'BenchmarkProcessBatch|BenchmarkEvaluate' -benchmem -run '^$$' .
+
+# Observability demo: a ~200-iteration toy train writing a per-iteration
+# JSONL timeline, then the final record. DESIGN.md §7 documents the schema;
+# EXPERIMENTS.md maps each metric name to its paper artifact.
+.PHONY: timeline-demo
+timeline-demo:
+	go run ./cmd/hetkg-train -dataset fb15k -scale tiny -system hetkg-d \
+		-machines 2 -epochs 3 -timeline out/timeline-demo.jsonl -timeline-every 5
+	@echo "== final timeline record:"
+	@tail -n 1 out/timeline-demo.jsonl

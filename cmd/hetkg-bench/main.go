@@ -29,6 +29,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		verbose = flag.Bool("v", false, "log progress")
 		asJSON  = flag.Bool("json", false, "emit tables as JSON lines instead of text")
+		tlDir   = flag.String("timeline", "", "write one JSONL timeline per training run into this directory")
 	)
 	flag.Parse()
 
@@ -46,8 +47,9 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	opts := hetkg.ExperimentOptions{
-		Scale: hetkg.ParseScale(*scale),
-		Seed:  *seed,
+		Scale:       hetkg.ParseScale(*scale),
+		Seed:        *seed,
+		TimelineDir: *tlDir,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

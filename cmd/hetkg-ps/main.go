@@ -36,6 +36,7 @@ func main() {
 		partName = flag.String("partitioner", "metis", "graph partitioner: metis | ldg | random")
 		seed     = flag.Int64("seed", 42, "random seed (must match the trainer)")
 		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, keep on loopback)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "building shard:", err)
 		os.Exit(1)
+	}
+
+	if *metAddr != "" {
+		reg := hetkg.NewMetricsRegistry()
+		shard.Instrument(reg)
+		srv, err := hetkg.ServeMetrics(*metAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving http://%s/metrics (+ /debug/pprof)\n", srv.Addr())
 	}
 
 	l, err := net.Listen("tcp", *listen)

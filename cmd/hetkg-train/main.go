@@ -46,6 +46,9 @@ func main() {
 		load     = flag.String("load", "", "resume training from this checkpoint file")
 		shards   = flag.String("shards", "", "comma-separated hetkg-ps addresses (one per machine) for a multi-process run")
 		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
+		timeline = flag.String("timeline", "", "write a per-iteration JSONL timeline to this file")
+		tlEvery  = flag.Int("timeline-every", 0, "iterations between timeline records (0 = default)")
+		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, keep on loopback)")
 		machine  = flag.Int("machine", -1, "run only this machine's workers (-1 = all; requires -shards for a real deployment)")
 		advTemp  = flag.Float64("adversarial", 0, "self-adversarial negative sampling temperature (0 = off)")
 		degNegs  = flag.Bool("degree-negatives", false, "corrupt with degree^0.75-weighted entities (hard negatives)")
@@ -95,6 +98,17 @@ func main() {
 		fmt.Printf("resuming from %s (model=%s epochs=%d)\n", *load, resume.ModelName, resume.Epochs)
 	}
 
+	reg := hetkg.NewMetricsRegistry()
+	if *metAddr != "" {
+		srv, err := hetkg.ServeMetrics(*metAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving http://%s/metrics (+ /debug/pprof)\n", srv.Addr())
+	}
+
 	res, err := hetkg.Run(hetkg.RunConfig{
 		Graph:                   custom,
 		Dataset:                 *ds,
@@ -124,6 +138,9 @@ func main() {
 		AdversarialTemp:         float32(*advTemp),
 		DegreeWeightedNegatives: *degNegs,
 		Parallelism:             *parallel,
+		Metrics:                 reg,
+		TimelinePath:            *timeline,
+		TimelineEvery:           *tlEvery,
 		Seed:                    *seed,
 	})
 	if err != nil {
@@ -143,6 +160,9 @@ func main() {
 	fmt.Printf("traffic: %s\n", res.Traffic)
 	if res.HitRatio > 0 {
 		fmt.Printf("cache: hit ratio %.3f, refreshed rows %d\n", res.HitRatio, res.RefreshRows)
+	}
+	if *timeline != "" {
+		fmt.Printf("timeline written to %s\n", *timeline)
 	}
 	if *traceOut != "" {
 		err := trace.WriteFile(*traceOut, trace.Header{

@@ -38,8 +38,10 @@ import (
 	"hetkg/internal/eval"
 	"hetkg/internal/kg"
 	"hetkg/internal/knn"
+	"hetkg/internal/metrics"
 	"hetkg/internal/model"
 	"hetkg/internal/netsim"
+	"hetkg/internal/obs"
 	"hetkg/internal/ps"
 	"hetkg/internal/train"
 	"hetkg/internal/vec"
@@ -160,6 +162,37 @@ func ExperimentByID(id string) (Experiment, bool) { return core.ByID(id) }
 
 // ExperimentIDs lists all registered experiment IDs.
 func ExperimentIDs() []string { return core.IDs() }
+
+// MetricsRegistry is the named-metric registry every subsystem of a run
+// publishes into: counters, gauges, histograms and timers, keyed by the
+// canonical names in internal/metrics/names.go (documented in
+// EXPERIMENTS.md's metric table).
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry. Pass it as
+// RunConfig.Metrics to observe a run live through ServeMetrics; leave
+// RunConfig.Metrics nil to get a private one back in Result.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsServer is a running live-introspection endpoint: the registry as
+// JSON under /metrics plus the net/http/pprof profiles.
+type MetricsServer = obs.Server
+
+// ServeMetrics starts an introspection endpoint on addr. The endpoint is
+// unauthenticated — bind it to loopback (e.g. "127.0.0.1:6060") unless the
+// network is trusted; see DESIGN.md §7.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
+
+// TimelineRun is a parsed run timeline (header plus records).
+type TimelineRun = metrics.TimelineRun
+
+// ReadTimelineFile parses a JSONL timeline written via
+// RunConfig.TimelinePath or hetkg-train/hetkg-bench -timeline.
+func ReadTimelineFile(path string) (*TimelineRun, error) {
+	return metrics.ReadTimelineFile(path)
+}
 
 // CostModel converts metered traffic into simulated time.
 type CostModel = netsim.CostModel

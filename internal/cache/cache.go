@@ -38,6 +38,34 @@ type HotCache struct {
 	// refreshed counts rows pulled by Build/Refresh (table construction
 	// traffic; per-row refresh misses flow through the normal pull path).
 	refreshed metrics.Counter
+
+	obs *cacheObs
+}
+
+// cacheObs holds a cache's registry-backed series (see Instrument).
+type cacheObs struct {
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	staleness *metrics.Histogram
+	evicted   *metrics.Counter
+	refreshed *metrics.Counter
+}
+
+// Instrument publishes this cache's behaviour into reg: hit/miss counts
+// (cache.{hits,misses}), the staleness each hit was served at — iterations
+// since the row last synchronized with the parameter server — as the
+// cache.staleness histogram, rows dropped when Build replaces the identifier
+// table (cache.evicted_rows), and rows pulled by Build/Refresh
+// (cache.refresh_rows). Caches wired to the same registry aggregate. Call
+// before the cache is used.
+func (h *HotCache) Instrument(reg *metrics.Registry) {
+	h.obs = &cacheObs{
+		hits:      reg.Counter(metrics.MCacheHits),
+		misses:    reg.Counter(metrics.MCacheMisses),
+		staleness: reg.Histogram(metrics.MCacheStaleness),
+		evicted:   reg.Counter(metrics.MCacheEvictedRows),
+		refreshed: reg.Counter(metrics.MCacheRefreshRows),
+	}
 }
 
 type hotRow struct {
@@ -81,10 +109,20 @@ func (h *HotCache) Build(keys []ps.Key, iteration int) error {
 			return fmt.Errorf("cache: building hot-embedding table: %w", err)
 		}
 		h.refreshed.Add(int64(len(sorted)))
+		if o := h.obs; o != nil {
+			o.refreshed.Add(int64(len(sorted)))
+		}
 	}
 	rows := make(map[ps.Key]*hotRow, len(fresh))
 	for k, v := range fresh {
 		rows[k] = &hotRow{vals: v, lastSync: iteration}
+	}
+	if o := h.obs; o != nil {
+		for k := range h.rows {
+			if _, kept := rows[k]; !kept {
+				o.evicted.Inc()
+			}
+		}
 	}
 	h.rows = rows
 	return nil
@@ -107,9 +145,16 @@ func (h *HotCache) Get(k ps.Key, iteration int) ([]float32, bool) {
 	row, ok := h.rows[k]
 	if !ok || h.stale(row, iteration) {
 		h.hits.Miss()
+		if o := h.obs; o != nil {
+			o.misses.Inc()
+		}
 		return nil, false
 	}
 	h.hits.Hit()
+	if o := h.obs; o != nil {
+		o.hits.Inc()
+		o.staleness.ObserveInt(int64(iteration - row.lastSync))
+	}
 	return row.vals, true
 }
 
@@ -168,6 +213,9 @@ func (h *HotCache) Refresh(iteration int) error {
 		return fmt.Errorf("cache: refreshing hot-embedding table: %w", err)
 	}
 	h.refreshed.Add(int64(len(keys)))
+	if o := h.obs; o != nil {
+		o.refreshed.Add(int64(len(keys)))
+	}
 	for k, v := range fresh {
 		h.rows[k] = &hotRow{vals: v, lastSync: iteration}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"hetkg/internal/dataset"
 	"hetkg/internal/kg"
+	"hetkg/internal/metrics"
 	"hetkg/internal/opt"
 	"hetkg/internal/ps"
 	"hetkg/internal/sampler"
@@ -532,5 +533,73 @@ func TestDPSAdaptsToDriftingDistribution(t *testing.T) {
 	}
 	if dpsHit < 0.3 {
 		t.Errorf("rebuilt table hit %.3f implausibly low", dpsHit)
+	}
+}
+
+// TestReplayObserved checks the registry-publishing replay agrees with
+// ReplayHitRatio and exposes hits, misses, and evictions under the policy's
+// cache.policy.<name>.* series.
+func TestReplayObserved(t *testing.T) {
+	stream := make([]ps.Key, 0, 60)
+	for round := 0; round < 3; round++ {
+		for e := 0; e < 20; e++ {
+			stream = append(stream, ps.EntityKey(kg.EntityID(e)))
+		}
+	}
+	a := NewFIFO(8)
+	want := ReplayHitRatio(a, stream)
+
+	reg := metrics.NewRegistry()
+	b := NewFIFO(8)
+	got := ReplayObserved(b, stream, reg)
+	if got != want {
+		t.Fatalf("ReplayObserved hit ratio %v, ReplayHitRatio %v", got, want)
+	}
+	hits := reg.Counter("cache.policy.fifo.hits").Value()
+	misses := reg.Counter("cache.policy.fifo.misses").Value()
+	if hits+misses != int64(len(stream)) {
+		t.Fatalf("hits %d + misses %d != %d accesses", hits, misses, len(stream))
+	}
+	if float64(hits)/float64(len(stream)) != want {
+		t.Fatalf("counter-derived hit ratio disagrees with %v", want)
+	}
+	ev := reg.Counter("cache.policy.fifo.evictions").Value()
+	if ev != b.Evictions() || ev == 0 {
+		t.Fatalf("evictions counter %d, policy reports %d", ev, b.Evictions())
+	}
+	// A second replay into the same registry accumulates, evictions stay
+	// in sync with the policy's own total.
+	ReplayObserved(b, stream, reg)
+	if got := reg.Counter("cache.policy.fifo.evictions").Value(); got != b.Evictions() {
+		t.Fatalf("after second replay evictions counter %d, policy reports %d", got, b.Evictions())
+	}
+}
+
+// TestPolicyEvictionCounts pins eviction accounting for each policy.
+func TestPolicyEvictionCounts(t *testing.T) {
+	f := NewFIFO(2)
+	for e := 0; e < 4; e++ {
+		f.Access(ps.EntityKey(kg.EntityID(e)))
+	}
+	if f.Evictions() != 2 {
+		t.Errorf("FIFO evictions = %d, want 2", f.Evictions())
+	}
+	l := NewLRU(2)
+	for e := 0; e < 4; e++ {
+		l.Access(ps.EntityKey(kg.EntityID(e)))
+	}
+	if l.Evictions() != 2 {
+		t.Errorf("LRU evictions = %d, want 2", l.Evictions())
+	}
+	u := NewLFU(1)
+	u.Access(ps.EntityKey(1))
+	u.Access(ps.EntityKey(1))
+	u.Access(ps.EntityKey(2)) // colder than resident: not admitted
+	if u.Evictions() != 0 {
+		t.Errorf("LFU evicted on a rejected admission: %d", u.Evictions())
+	}
+	u.Access(ps.EntityKey(2)) // now as hot as the resident: displaces key 1
+	if u.Evictions() != 1 {
+		t.Errorf("LFU evictions = %d, want 1", u.Evictions())
 	}
 }

@@ -2,7 +2,9 @@ package cache
 
 import (
 	"container/list"
+	"strings"
 
+	"hetkg/internal/metrics"
 	"hetkg/internal/ps"
 )
 
@@ -34,11 +36,19 @@ func NewPolicy(name string, capacity int) (Policy, bool) {
 	}
 }
 
+// EvictionCounter is implemented by policies that count how many residents
+// they have displaced; all policies in this package do.
+type EvictionCounter interface {
+	// Evictions returns the number of keys evicted so far.
+	Evictions() int64
+}
+
 // FIFO evicts the oldest-admitted key.
 type FIFO struct {
-	capacity int
-	queue    *list.List // of ps.Key, front = oldest
-	resident map[ps.Key]struct{}
+	capacity  int
+	queue     *list.List // of ps.Key, front = oldest
+	resident  map[ps.Key]struct{}
+	evictions int64
 }
 
 // NewFIFO returns a FIFO cache of the given capacity.
@@ -52,6 +62,9 @@ func (*FIFO) Name() string { return "FIFO" }
 // Len implements Policy.
 func (f *FIFO) Len() int { return len(f.resident) }
 
+// Evictions implements EvictionCounter.
+func (f *FIFO) Evictions() int64 { return f.evictions }
+
 // Access implements Policy.
 func (f *FIFO) Access(k ps.Key) bool {
 	if _, ok := f.resident[k]; ok {
@@ -63,6 +76,7 @@ func (f *FIFO) Access(k ps.Key) bool {
 	if len(f.resident) >= f.capacity {
 		oldest := f.queue.Remove(f.queue.Front()).(ps.Key)
 		delete(f.resident, oldest)
+		f.evictions++
 	}
 	f.resident[k] = struct{}{}
 	f.queue.PushBack(k)
@@ -71,9 +85,10 @@ func (f *FIFO) Access(k ps.Key) bool {
 
 // LRU evicts the least-recently-used key.
 type LRU struct {
-	capacity int
-	order    *list.List // of ps.Key, front = most recent
-	elems    map[ps.Key]*list.Element
+	capacity  int
+	order     *list.List // of ps.Key, front = most recent
+	elems     map[ps.Key]*list.Element
+	evictions int64
 }
 
 // NewLRU returns an LRU cache of the given capacity.
@@ -86,6 +101,9 @@ func (*LRU) Name() string { return "LRU" }
 
 // Len implements Policy.
 func (l *LRU) Len() int { return len(l.elems) }
+
+// Evictions implements EvictionCounter.
+func (l *LRU) Evictions() int64 { return l.evictions }
 
 // Access implements Policy.
 func (l *LRU) Access(k ps.Key) bool {
@@ -100,6 +118,7 @@ func (l *LRU) Access(k ps.Key) bool {
 		back := l.order.Back()
 		l.order.Remove(back)
 		delete(l.elems, back.Value.(ps.Key))
+		l.evictions++
 	}
 	l.elems[k] = l.order.PushFront(k)
 	return false
@@ -109,11 +128,12 @@ func (l *LRU) Access(k ps.Key) bool {
 // the "importance cache" baseline of Table VI: admission by observed
 // frequency, but without HET-KG's lookahead.
 type LFU struct {
-	capacity int
-	freq     map[ps.Key]int
-	resident map[ps.Key]struct{}
-	clock    int64
-	lastUse  map[ps.Key]int64
+	capacity  int
+	freq      map[ps.Key]int
+	resident  map[ps.Key]struct{}
+	clock     int64
+	lastUse   map[ps.Key]int64
+	evictions int64
 }
 
 // NewLFU returns an LFU cache of the given capacity.
@@ -131,6 +151,9 @@ func (*LFU) Name() string { return "LFU" }
 
 // Len implements Policy.
 func (l *LFU) Len() int { return len(l.resident) }
+
+// Evictions implements EvictionCounter.
+func (l *LFU) Evictions() int64 { return l.evictions }
 
 // Access implements Policy.
 func (l *LFU) Access(k ps.Key) bool {
@@ -161,8 +184,37 @@ func (l *LFU) Access(k ps.Key) bool {
 	if l.freq[k] >= victimFreq {
 		delete(l.resident, victim)
 		l.resident[k] = struct{}{}
+		l.evictions++
 	}
 	return false
+}
+
+// ReplayObserved runs an access stream through a policy like ReplayHitRatio
+// while publishing per-policy series into reg:
+// cache.policy.<name>.{hits,misses,evictions} (name lower-cased, evictions
+// only for policies implementing EvictionCounter). Used by the Table VI
+// hit-ratio study to expose baseline-policy behaviour on a run's timeline.
+func ReplayObserved(p Policy, stream []ps.Key, reg *metrics.Registry) float64 {
+	prefix := metrics.MCachePolicyPrefix + strings.ToLower(p.Name()) + "."
+	hits := reg.Counter(prefix + "hits")
+	misses := reg.Counter(prefix + "misses")
+	n := 0
+	for _, k := range stream {
+		if p.Access(k) {
+			hits.Inc()
+			n++
+		} else {
+			misses.Inc()
+		}
+	}
+	if ec, ok := p.(EvictionCounter); ok {
+		ev := reg.Counter(prefix + "evictions")
+		ev.Add(ec.Evictions() - ev.Value())
+	}
+	if len(stream) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(stream))
 }
 
 // ReplayHitRatio runs an access stream through a policy and returns the

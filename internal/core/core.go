@@ -7,12 +7,16 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"hetkg/internal/cache"
 	"hetkg/internal/ckpt"
 	"hetkg/internal/dataset"
 	"hetkg/internal/kg"
+	"hetkg/internal/metrics"
 	"hetkg/internal/model"
 	"hetkg/internal/netsim"
 	"hetkg/internal/opt"
@@ -122,12 +126,22 @@ type RunConfig struct {
 	// (0 = all cores; 1 = serial; results identical at any setting).
 	Parallelism int
 
+	// Metrics, when non-nil, is the registry the run publishes into —
+	// share it with an obs.Server to watch the run live. nil lets the
+	// trainer create a private one (returned in Result.Metrics).
+	Metrics *metrics.Registry
+	// TimelinePath, when non-empty, writes the run's JSONL timeline there
+	// (parent directories are created). TimelineEvery is the iteration
+	// interval between records (default metrics.DefaultTimelineEvery).
+	TimelinePath  string
+	TimelineEvery int
+
 	Seed int64
 }
 
 // defaults fills scale-appropriate values for everything left zero.
 func (rc *RunConfig) defaults() {
-	if rc.Dataset == "" {
+	if rc.Dataset == "" && rc.Graph == nil {
 		rc.Dataset = "fb15k"
 	}
 	if rc.ModelName == "" {
@@ -281,6 +295,9 @@ func Run(rc RunConfig) (*train.Result, error) {
 		EvalCandidates:    rc.EvalCandidates,
 		EvalMax:           rc.EvalMax,
 		Parallelism:       rc.Parallelism,
+		Metrics:           rc.Metrics,
+		Dataset:           rc.Dataset,
+		TimelineEvery:     rc.TimelineEvery,
 		Seed:              rc.Seed,
 		NewOptimizer:      newOpt,
 		Quantize8Bit:      rc.Quantize8Bit,
@@ -305,7 +322,32 @@ func Run(rc RunConfig) (*train.Result, error) {
 			return ps.DialTCP(addrs)
 		}
 	}
-	switch rc.System {
+	var timelineFile *os.File
+	if rc.TimelinePath != "" {
+		if dir := filepath.Dir(rc.TimelinePath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("core: creating timeline directory: %w", err)
+			}
+		}
+		f, err := os.Create(rc.TimelinePath)
+		if err != nil {
+			return nil, fmt.Errorf("core: creating timeline: %w", err)
+		}
+		timelineFile = f
+		tc.Timeline = f
+	}
+	res, err := runSystem(rc.System, tc)
+	if timelineFile != nil {
+		if cerr := timelineFile.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: closing timeline: %w", cerr)
+		}
+	}
+	return res, err
+}
+
+// runSystem dispatches to the trainer selected by system.
+func runSystem(system System, tc train.Config) (*train.Result, error) {
+	switch system {
 	case SystemPBG:
 		return train.TrainPBG(tc)
 	case SystemDGLKE:
@@ -317,7 +359,7 @@ func Run(rc RunConfig) (*train.Result, error) {
 		tc.Cache.Strategy = cache.DPS
 		return train.TrainHETKG(tc)
 	default:
-		return nil, fmt.Errorf("core: unknown system %q", rc.System)
+		return nil, fmt.Errorf("core: unknown system %q", system)
 	}
 }
 
@@ -329,6 +371,29 @@ type Options struct {
 	Seed int64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// TimelineDir, when non-empty, writes one sequenced timeline file per
+	// training run under this directory (NNN-dataset-system.jsonl).
+	TimelineDir string
+}
+
+// timelineSeq numbers experiment timeline files within a process, so runs
+// of one experiment batch sort in execution order.
+var timelineSeq atomic.Int64
+
+// run executes rc with the options' observability settings applied: when
+// TimelineDir is set and the run does not name its own timeline, it gets a
+// sequenced file there. Experiment implementations call this instead of
+// Run.
+func (o Options) run(rc RunConfig) (*train.Result, error) {
+	if o.TimelineDir != "" && rc.TimelinePath == "" {
+		ds := rc.Dataset
+		if ds == "" {
+			ds = "custom"
+		}
+		name := fmt.Sprintf("%03d-%s-%s.jsonl", timelineSeq.Add(1), ds, rc.System)
+		rc.TimelinePath = filepath.Join(o.TimelineDir, name)
+	}
+	return Run(rc)
 }
 
 func (o *Options) defaults() {

@@ -75,7 +75,7 @@ func runAblationPartition(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:         "fb15k",
 			Scale:           o.Scale,
 			System:          SystemDGLKE,
@@ -147,7 +147,7 @@ func runAblationStrategy(o Options) (*Table, error) {
 		row := []string{fmt.Sprintf("%.0f%%", pct)}
 		for _, sys := range []System{SystemHETKGC, SystemHETKGD} {
 			o.logf("xablation-strategy: %.0f%% / %s ...", pct, sys)
-			res, err := Run(RunConfig{
+			res, err := o.run(RunConfig{
 				Dataset:       "fb15k",
 				Scale:         o.Scale,
 				System:        sys,
@@ -181,7 +181,7 @@ func runAblationQuantize(o Options) (*Table, error) {
 			name = "int8"
 		}
 		o.logf("xablation-quantize: %s ...", name)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:      "fb15k",
 			Scale:        o.Scale,
 			System:       SystemHETKGC,
@@ -212,7 +212,7 @@ func runAblationAdversarial(o Options) (*Table, error) {
 			name = "self-adversarial(α=1)"
 		}
 		o.logf("xablation-adversarial: %s ...", name)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:         "fb15k",
 			Scale:           o.Scale,
 			System:          SystemHETKGD,
@@ -253,7 +253,7 @@ func runTheoryStaleness(o Options) (*Table, error) {
 	}
 	for _, c := range cases {
 		o.logf("xtheory-staleness: %s ...", c.name)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:          "fb15k",
 			Scale:            o.Scale,
 			System:           SystemHETKGC,
@@ -294,7 +294,7 @@ func runAblationBandwidth(o Options) (*Table, error) {
 		var comms [2]float64
 		for i, sys := range []System{SystemDGLKE, SystemHETKGC} {
 			o.logf("xablation-bandwidth: %.0f Mbps / %s ...", mbps, sys)
-			res, err := Run(RunConfig{
+			res, err := o.run(RunConfig{
 				Dataset:   "freebase86m",
 				Scale:     o.Scale,
 				System:    sys,
@@ -337,7 +337,7 @@ func runAblationHardNegs(o Options) (*Table, error) {
 			name = "degree^0.75"
 		}
 		o.logf("xablation-hardnegs: %s ...", name)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:                 "fb15k",
 			Scale:                   o.Scale,
 			System:                  SystemHETKGC,

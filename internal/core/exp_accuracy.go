@@ -50,7 +50,7 @@ func accuracyTable(id, ds string, models []string, o Options) (*Table, error) {
 	for _, mdl := range models {
 		for _, sys := range Systems() {
 			o.logf("%s: %s / %s ...", id, sys, mdl)
-			res, err := Run(RunConfig{
+			res, err := o.run(RunConfig{
 				Dataset:   ds,
 				Scale:     o.Scale,
 				System:    sys,
@@ -79,7 +79,7 @@ func runFig5(o Options) (*Table, error) {
 	}
 	for _, sys := range Systems() {
 		o.logf("fig5: %s ...", sys)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:   "fb15k",
 			Scale:     o.Scale,
 			System:    sys,

@@ -122,7 +122,7 @@ func runFig8a(o Options) (*Table, error) {
 			capacity = 1
 		}
 		o.logf("fig8a: capacity %.1f%% (%d rows) ...", pct, capacity)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:       "freebase86m",
 			Scale:         o.Scale,
 			System:        SystemHETKGC,
@@ -149,7 +149,7 @@ func runFig8b(o Options) (*Table, error) {
 	}
 	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
 		o.logf("fig8b: P=%d ...", p)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:        "freebase86m",
 			Scale:          o.Scale,
 			System:         SystemHETKGC,
@@ -208,7 +208,7 @@ func runFig9(o Options) (*Table, error) {
 	}
 	for _, p := range []int{1, 128} {
 		o.logf("fig9: P=%d ...", p)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset: "freebase86m",
 			Scale:   o.Scale,
 			// CPS: the periodic refresh is the *only* mechanism bounding
@@ -285,7 +285,7 @@ func runTable7(o Options) (*Table, error) {
 				name = "HET-KG-N"
 			}
 			o.logf("table7: %s / %s ...", ds, name)
-			res, err := Run(RunConfig{
+			res, err := o.run(RunConfig{
 				Dataset:         ds,
 				Scale:           o.Scale,
 				System:          SystemHETKGC,

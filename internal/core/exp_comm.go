@@ -65,7 +65,7 @@ func runTable1(o Options) (*Table, error) {
 	}
 	for _, machines := range []int{1, 2, 4, 8} {
 		o.logf("table1: %d machines ...", machines)
-		res, err := Run(RunConfig{
+		res, err := o.run(RunConfig{
 			Dataset:   "freebase86m",
 			Scale:     o.Scale,
 			System:    SystemDGLKE,
@@ -103,7 +103,7 @@ func runFig6(o Options) (*Table, error) {
 		var baseline float64
 		for _, machines := range []int{1, 2, 4, 8} {
 			o.logf("fig6: %s / %d machines ...", sys, machines)
-			res, err := Run(RunConfig{
+			res, err := o.run(RunConfig{
 				Dataset:   "freebase86m",
 				Scale:     o.Scale,
 				System:    sys,
@@ -145,7 +145,7 @@ func runFig7(o Options) (*Table, error) {
 	for _, ds := range dataset.Names() {
 		for _, sys := range Systems() {
 			o.logf("fig7: %s / %s ...", ds, sys)
-			res, err := Run(RunConfig{
+			res, err := o.run(RunConfig{
 				Dataset:   ds,
 				Scale:     o.Scale,
 				System:    sys,

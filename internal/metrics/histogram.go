@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram.
+const NumBuckets = 64
+
+// Histogram is a concurrency-safe distribution over fixed log-spaced
+// buckets. Bucket i covers (2^(i-1), 2^i]; bucket 0 covers (-inf, 1]
+// (including zero, the common case for staleness-in-iterations), and the
+// last bucket absorbs everything above 2^62. The bucket grid is a package
+// constant, never derived from the data, so two histograms fed the same
+// observations — on different runs or different machines — have identical
+// bucket counts; that is what makes histogram values legal timeline content
+// under the determinism guarantee.
+//
+// Quantile estimates are bucket upper bounds (conservative: the true
+// quantile is at most the reported value, and more than half the reported
+// value when the quantile falls past bucket 0).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample. NaN samples are ignored.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// ObserveInt records one integer sample.
+func (h *Histogram) ObserveInt(v int64) { h.Observe(float64(v)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) as the upper bound of the
+// bucket containing the quantile's rank, or 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// BucketUpperBound returns bucket i's inclusive upper bound, 2^i.
+func BucketUpperBound(i int) float64 {
+	return math.Ldexp(1, i)
+}
+
+// bucketIndex maps a sample to its bucket: 0 for v <= 1, otherwise
+// ceil(log2(v)) capped at the last bucket. The exact-power-of-two check via
+// Frexp keeps boundaries inclusive (Observe(2) lands in the bucket whose
+// upper bound is 2) without floating-point log.
+func bucketIndex(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	idx := exp
+	if frac == 0.5 {
+		idx = exp - 1
+	}
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// snapshot captures the histogram as a Value with non-empty buckets and
+// cached quantiles.
+func (h *Histogram) snapshot() Value {
+	v := Value{Kind: KindHistogram, Count: h.Count(), Sum: h.Sum()}
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			v.Buckets = append(v.Buckets, Bucket{LE: BucketUpperBound(i), N: n})
+		}
+	}
+	if v.Count > 0 {
+		v.Quantiles = &Quantiles{
+			P50: h.Quantile(0.50),
+			P90: h.Quantile(0.90),
+			P99: h.Quantile(0.99),
+		}
+	}
+	return v
+}
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Timer accumulates wall-clock durations (e.g. per-batch computation time).
+// Timer values are nondeterministic by nature and therefore excluded from
+// timeline records; read them on the live endpoint or via Total.
+type Timer struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.count.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket grid: bucket i covers
+// (2^(i-1), 2^i], bucket 0 absorbs everything <= 1, and the top bucket
+// absorbs overflow. Exact powers of two must land on their own bound
+// (inclusive upper bounds), the property the grid's determinism rests on.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{0.5, 0},
+		{1, 0},
+		{1.0001, 1},
+		{2, 1},       // exact power: inclusive in bucket 1 (le=2)
+		{2.0001, 2},  // just over: bucket 2 (le=4)
+		{3, 2},
+		{4, 2},       // exact power: inclusive in bucket 2 (le=4)
+		{4.5, 3},
+		{1024, 10},
+		{1025, 11},
+		{math.Ldexp(1, 62), 62},
+		{math.Ldexp(1, 63), 63},
+		{math.MaxFloat64, 63}, // overflow pins to the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := BucketUpperBound(3); got != 8 {
+		t.Errorf("BucketUpperBound(3) = %v, want 8", got)
+	}
+}
+
+func TestHistogramObserveAndSum(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	v := h.snapshot()
+	var total int64
+	for _, b := range v.Buckets {
+		total += b.N
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", total)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 90 observations <= 1, 9 in (8, 16], 1 in (512, 1024].
+	for i := 0; i < 90; i++ {
+		h.ObserveInt(1)
+	}
+	for i := 0; i < 9; i++ {
+		h.ObserveInt(10)
+	}
+	h.ObserveInt(1000)
+	if got := h.Quantile(0.50); got != 1 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.95); got != 16 {
+		t.Errorf("p95 = %v, want 16 (bucket upper bound)", got)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Errorf("p100 = %v, want 1024", got)
+	}
+	q := h.snapshot().Quantiles
+	if q == nil || q.P50 != 1 || q.P99 != 16 || q.P90 != 1 {
+		t.Errorf("snapshot quantiles = %+v", q)
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+// Canonical registry metric names. Every subsystem registers under these
+// constants so a run's registry — and therefore its timeline and the live
+// introspection endpoint — carries one stable, documented vocabulary.
+// scripts/check.sh enforces that each name listed here is documented in
+// EXPERIMENTS.md's "metric → paper figure" table.
+const (
+	// MTrainIterations counts processed mini-batches across all workers.
+	MTrainIterations = "train.iterations"
+	// MTrainPairs counts scored (positive, negative) pairs.
+	MTrainPairs = "train.pairs"
+	// MTrainLoss is the mean pair loss of the most recent batch.
+	MTrainLoss = "train.loss"
+	// MTrainEpoch is the current epoch (set at timeline emission).
+	MTrainEpoch = "train.epoch"
+	// MTrainCompWall is the accumulated wall-clock gradient-computation
+	// time (timer; excluded from timelines).
+	MTrainCompWall = "train.comp_wall"
+
+	// MCacheHits counts hot-embedding-table hits across all workers.
+	MCacheHits = "cache.hits"
+	// MCacheMisses counts hot-embedding-table misses (cold or stale).
+	MCacheMisses = "cache.misses"
+	// MCacheHitRatio is hits/(hits+misses), set at timeline emission.
+	MCacheHitRatio = "cache.hit_ratio"
+	// MCacheEvictedRows counts rows dropped by table rebuilds (DPS).
+	MCacheEvictedRows = "cache.evicted_rows"
+	// MCacheRefreshRows counts rows pulled by Build/Refresh — the
+	// construction-traffic side of the staleness trade-off.
+	MCacheRefreshRows = "cache.refresh_rows"
+	// MCacheStaleness is the histogram of row ages (iterations since last
+	// synchronization) observed at cache hits.
+	MCacheStaleness = "cache.staleness"
+
+	// MPSPullRPCs counts parameter-server pull round trips.
+	MPSPullRPCs = "ps.pull_rpcs"
+	// MPSPushRPCs counts parameter-server push requests.
+	MPSPushRPCs = "ps.push_rpcs"
+	// MPSPullRows counts embedding rows fetched from the PS.
+	MPSPullRows = "ps.pull_rows"
+	// MPSPushRows counts gradient rows pushed to the PS.
+	MPSPushRows = "ps.push_rows"
+	// MPSBytesTx counts wire bytes sent to the PS (pull requests and push
+	// payloads), priced by the transport's size accounting.
+	MPSBytesTx = "ps.bytes_tx"
+	// MPSBytesRx counts wire bytes received from the PS (pull responses).
+	MPSBytesRx = "ps.bytes_rx"
+
+	// MNetLocalMsgs counts shared-memory (co-located) messages.
+	MNetLocalMsgs = "net.local_msgs"
+	// MNetLocalBytes counts shared-memory bytes.
+	MNetLocalBytes = "net.local_bytes"
+	// MNetRemoteMsgs counts inter-machine messages.
+	MNetRemoteMsgs = "net.remote_msgs"
+	// MNetRemoteBytes counts inter-machine bytes.
+	MNetRemoteBytes = "net.remote_bytes"
+	// MNetSimWire accumulates simulated wire nanoseconds, priced
+	// per message by the netsim cost model.
+	MNetSimWire = "net.sim_wire_ns"
+
+	// MPSServerPulls counts pull requests served by a PS shard.
+	MPSServerPulls = "ps.server.pulls"
+	// MPSServerPushes counts push requests served by a PS shard.
+	MPSServerPushes = "ps.server.pushes"
+	// MPSServerRowsPulled counts rows a shard served to pulls.
+	MPSServerRowsPulled = "ps.server.rows_pulled"
+	// MPSServerRowsPushed counts gradient rows a shard applied.
+	MPSServerRowsPushed = "ps.server.rows_pushed"
+	// MPSTCPConns counts accepted TCP transport connections.
+	MPSTCPConns = "ps.tcp.conns"
+	// MPSTCPRxBytes counts bytes read from TCP transport connections.
+	MPSTCPRxBytes = "ps.tcp.rx_bytes"
+	// MPSTCPTxBytes counts bytes written to TCP transport connections.
+	MPSTCPTxBytes = "ps.tcp.tx_bytes"
+
+	// MCachePolicyPrefix prefixes the per-policy replay metrics
+	// cache.policy.<name>.{hits,misses,evictions} registered by
+	// cache.ReplayObserved for the Table VI policy study.
+	MCachePolicyPrefix = "cache.policy."
+)

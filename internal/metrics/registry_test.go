@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.count")
+	c1.Add(3)
+	c2 := r.Counter("a.count")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	if c2.Value() != 3 {
+		t.Fatalf("shared counter lost its value: %d", c2.Value())
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(1.5)
+	if got := r.Gauge("a.gauge").Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(0.25)
+	r.Histogram("h").Observe(3)
+	r.Timer("t").Observe(2 * time.Second)
+
+	s := r.Snapshot()
+	if v := s["c"]; v.Kind != KindCounter || v.Count != 7 {
+		t.Fatalf("counter snapshot = %+v", v)
+	}
+	if v := s["g"]; v.Kind != KindGauge || v.Value != 0.25 {
+		t.Fatalf("gauge snapshot = %+v", v)
+	}
+	if v := s["h"]; v.Kind != KindHistogram || v.Count != 1 || v.Sum != 3 {
+		t.Fatalf("histogram snapshot = %+v", v)
+	}
+	if v := s["t"]; v.Kind != KindTimer || v.Count != 1 || v.Sum != 2 {
+		t.Fatalf("timer snapshot = %+v", v)
+	}
+
+	det := s.Deterministic()
+	if _, ok := det["t"]; ok {
+		t.Fatal("Deterministic kept a timer")
+	}
+	if len(det) != 3 {
+		t.Fatalf("Deterministic dropped too much: %v", det)
+	}
+}
+
+// TestRegistryConcurrent exercises concurrent register/update/snapshot; run
+// under -race (scripts/check.sh) it doubles as the registry race test.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter(fmt.Sprintf("worker.%d.count", w)).Inc()
+				r.Histogram("shared.hist").ObserveInt(int64(i))
+				r.Gauge("shared.gauge").Set(float64(i))
+				if i%10 == 0 {
+					_ = r.Snapshot()
+					_ = r.Names()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Value(); got != workers*perWorker {
+		t.Fatalf("shared.count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*perWorker {
+		t.Fatalf("shared.hist count = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(r.Names()); got != workers+3 {
+		t.Fatalf("got %d names, want %d", got, workers+3)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Histogram("z.hist").Observe(5)
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("two WriteJSON calls on an unchanged registry differ")
+	}
+	var decoded map[string]Value
+	if err := json.Unmarshal(buf1.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if decoded["a.count"].Count != 1 || decoded["b.count"].Count != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}

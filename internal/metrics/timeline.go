@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TimelineKind is the header discriminator of timeline files.
+const TimelineKind = "hetkg-timeline/v1"
+
+// DefaultTimelineEvery is the default iteration interval between records.
+const DefaultTimelineEvery = 10
+
+// TimelineHeader is the first JSONL line of a timeline: run identity plus
+// the emission interval.
+type TimelineHeader struct {
+	Kind    string `json:"kind"` // always TimelineKind
+	System  string `json:"system,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	Every   int    `json:"every"`
+	Seed    int64  `json:"seed"`
+}
+
+// TimelineWall carries a record's wall-clock measurements. Wall values are
+// nondeterministic (they depend on the machine and the scheduler) and are
+// kept out of Metrics so that everything under "metrics" is bit-identical
+// across runs of the same configuration.
+type TimelineWall struct {
+	// ElapsedMS is wall-clock milliseconds since training started.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// CompMS is accumulated wall-clock gradient-computation milliseconds.
+	CompMS float64 `json:"comp_ms,omitempty"`
+	// PairsPerSec is the run's throughput so far: scored (positive,
+	// negative) pairs per wall-clock second.
+	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+}
+
+// TimelineRecord is one emitted line: the training position, the loss, a
+// deterministic registry snapshot, and optional wall-clock readings.
+type TimelineRecord struct {
+	// Iter is the global iteration (mini-batch rounds across all epochs).
+	Iter int `json:"iter"`
+	// Epoch is the 1-based epoch the iteration belongs to.
+	Epoch int `json:"epoch"`
+	// Loss is the mean pair loss over workers' running epoch averages.
+	Loss float64 `json:"loss"`
+	// Metrics is the registry snapshot with timers excluded.
+	Metrics Snapshot `json:"metrics"`
+	// Wall holds the record's nondeterministic wall-clock readings.
+	Wall *TimelineWall `json:"wall,omitempty"`
+}
+
+// TimelineEmitter appends timeline records for one run to a writer. It is
+// not safe for concurrent use; the training loop emits from its scheduling
+// goroutine.
+type TimelineEmitter struct {
+	reg   *Registry
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	every int
+}
+
+// NewTimelineEmitter writes the header line and returns an emitter that
+// snapshots reg on each Emit. hdr.Kind is forced to TimelineKind and
+// hdr.Every to the effective interval (DefaultTimelineEvery when
+// unspecified). Call Flush when the run completes.
+func NewTimelineEmitter(w io.Writer, reg *Registry, hdr TimelineHeader) (*TimelineEmitter, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("metrics: timeline emitter needs a registry")
+	}
+	every := hdr.Every
+	if every <= 0 {
+		every = DefaultTimelineEvery
+	}
+	hdr.Kind = TimelineKind
+	hdr.Every = every
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, fmt.Errorf("metrics: encoding timeline header: %w", err)
+	}
+	return &TimelineEmitter{reg: reg, bw: bw, enc: enc, every: every}, nil
+}
+
+// Every returns the emission interval in iterations.
+func (e *TimelineEmitter) Every() int { return e.every }
+
+// ShouldEmit reports whether the given global iteration is on the emission
+// grid.
+func (e *TimelineEmitter) ShouldEmit(iter int) bool {
+	return iter > 0 && iter%e.every == 0
+}
+
+// Emit writes one record. When rec.Metrics is nil it is filled with the
+// registry's deterministic snapshot (timers excluded).
+func (e *TimelineEmitter) Emit(rec TimelineRecord) error {
+	if rec.Metrics == nil {
+		rec.Metrics = e.reg.Snapshot().Deterministic()
+	}
+	if err := e.enc.Encode(rec); err != nil {
+		return fmt.Errorf("metrics: encoding timeline record (iter %d): %w", rec.Iter, err)
+	}
+	return nil
+}
+
+// Flush drains the emitter's buffer to the underlying writer.
+func (e *TimelineEmitter) Flush() error { return e.bw.Flush() }
+
+// TimelineRun is a fully parsed timeline file.
+type TimelineRun struct {
+	Header  TimelineHeader
+	Records []TimelineRecord
+}
+
+// ReadTimeline parses a timeline written by TimelineEmitter.
+func ReadTimeline(r io.Reader) (*TimelineRun, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("metrics: empty timeline")
+	}
+	var run TimelineRun
+	if err := json.Unmarshal(sc.Bytes(), &run.Header); err != nil {
+		return nil, fmt.Errorf("metrics: parsing timeline header: %w", err)
+	}
+	if run.Header.Kind != TimelineKind {
+		return nil, fmt.Errorf("metrics: not a timeline file (kind %q)", run.Header.Kind)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec TimelineRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("metrics: timeline line %d: %w", line, err)
+		}
+		run.Records = append(run.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: reading timeline: %w", err)
+	}
+	return &run, nil
+}
+
+// ReadTimelineFile parses the timeline at path.
+func ReadTimelineFile(path string) (*TimelineRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: opening timeline %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadTimeline(f)
+}

@@ -70,24 +70,66 @@ func (c CostModel) LocalTime(msgs, bytes int64) time.Duration {
 }
 
 // Meter accumulates a worker's traffic, split by locality. It is safe for
-// concurrent use.
+// concurrent use. An instrumented meter (see Instrument) additionally
+// publishes per-link message/byte counters and the running simulated wire
+// time into a metrics registry.
 type Meter struct {
 	localMsgs   metrics.Counter
 	localBytes  metrics.Counter
 	remoteMsgs  metrics.Counter
 	remoteBytes metrics.Counter
+	obs         *meterObs
+}
+
+// meterObs holds a meter's registry-backed series. All fields are shared
+// get-or-create registry metrics, so every meter wired to the same registry
+// feeds one aggregate per-link series.
+type meterObs struct {
+	localMsgs   *metrics.Counter
+	localBytes  *metrics.Counter
+	remoteMsgs  *metrics.Counter
+	remoteBytes *metrics.Counter
+	simWireNS   *metrics.Counter
+	cm          CostModel
+}
+
+// Instrument publishes this meter's traffic into reg: the per-link
+// net.{local,remote}_{msgs,bytes} counters, plus net.sim_wire_ns — the
+// cumulative simulated wire time, priced per message by cm (each message
+// pays its latency plus bytes/bandwidth). Pricing is integer-nanosecond
+// arithmetic on deterministic byte counts, so the series is reproducible.
+// Call before the meter sees traffic; not synchronized with Record calls.
+func (m *Meter) Instrument(reg *metrics.Registry, cm CostModel) {
+	m.obs = &meterObs{
+		localMsgs:   reg.Counter(metrics.MNetLocalMsgs),
+		localBytes:  reg.Counter(metrics.MNetLocalBytes),
+		remoteMsgs:  reg.Counter(metrics.MNetRemoteMsgs),
+		remoteBytes: reg.Counter(metrics.MNetRemoteBytes),
+		simWireNS:   reg.Counter(metrics.MNetSimWire),
+		cm:          cm,
+	}
 }
 
 // RecordLocal notes one local message of the given size.
 func (m *Meter) RecordLocal(bytes int64) {
 	m.localMsgs.Inc()
 	m.localBytes.Add(bytes)
+	if o := m.obs; o != nil {
+		o.localMsgs.Inc()
+		o.localBytes.Add(bytes)
+		o.simWireNS.Add(int64(o.cm.LocalTime(1, bytes)))
+	}
 }
 
 // RecordRemote notes one remote message of the given size.
 func (m *Meter) RecordRemote(bytes int64) {
 	m.remoteMsgs.Inc()
 	m.remoteBytes.Add(bytes)
+	if o := m.obs; o != nil {
+		o.remoteMsgs.Inc()
+		o.remoteBytes.Add(bytes)
+		o.simWireNS.Add(int64(o.cm.RemoteTime(1, bytes)))
+	}
 }
 
 // Snapshot is a point-in-time copy of a Meter's counters.

@@ -1,0 +1,82 @@
+// Package obs is the live introspection endpoint: an opt-in HTTP server
+// exposing a metrics Registry as JSON plus the standard pprof profiling
+// handlers, attached to long-running processes (hetkg-train, hetkg-ps) so a
+// training run can be watched and profiled in flight.
+//
+// The endpoint serves operational data (metric values, goroutine and heap
+// profiles) with no authentication; bind it to loopback (the
+// 127.0.0.1-prefixed defaults used throughout this repository) unless the
+// network is trusted. See DESIGN.md §7.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"hetkg/internal/metrics"
+)
+
+// Server is a running introspection endpoint. Close releases the listener.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	addr string
+}
+
+// Serve starts the endpoint on addr (e.g. "127.0.0.1:6060"; a ":0" port
+// picks a free one — read the chosen address back with Addr). Routes:
+//
+//	/metrics       registry snapshot as JSON
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the net/http/pprof index and profiles
+//
+// The server runs on its own goroutine until Close.
+func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: nil registry")
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:      mux,
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 0, // pprof profile/trace streams run long
+		},
+		addr: ln.Addr().String(),
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the address the endpoint is listening on.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the endpoint and releases its listener.
+func (s *Server) Close() error { return s.srv.Close() }

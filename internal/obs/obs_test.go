@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"hetkg/internal/metrics"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServeMetrics checks the endpoint serves the registry snapshot as
+// JSON, reflecting updates made while the server is live.
+func TestServeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter(metrics.MCacheHits).Add(5)
+	reg.Gauge(metrics.MTrainLoss).Set(0.5)
+
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := fmt.Sprintf("http://%s", s.Addr())
+
+	var snap map[string]metrics.Value
+	if err := json.Unmarshal(get(t, base+"/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	if v := snap[metrics.MCacheHits]; v.Count != 5 {
+		t.Fatalf("cache.hits = %+v, want count 5", v)
+	}
+
+	// A live update must be visible on the next scrape.
+	reg.Counter(metrics.MCacheHits).Add(2)
+	if err := json.Unmarshal(get(t, base+"/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v := snap[metrics.MCacheHits]; v.Count != 7 {
+		t.Fatalf("after update cache.hits = %+v, want count 7", v)
+	}
+
+	if string(get(t, base+"/healthz")) != "ok\n" {
+		t.Fatal("/healthz did not answer ok")
+	}
+	if len(get(t, base+"/debug/pprof/")) == 0 {
+		t.Fatal("/debug/pprof/ served nothing")
+	}
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve accepted a nil registry")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hetkg/internal/metrics"
 	"hetkg/internal/netsim"
 )
 
@@ -19,6 +20,33 @@ type Client struct {
 	meter   *netsim.Meter
 	entDim  int
 	relDim  int
+	obs     *clientObs
+}
+
+// clientObs holds a client's registry-backed RPC series (see Instrument).
+type clientObs struct {
+	pullRPCs *metrics.Counter
+	pushRPCs *metrics.Counter
+	pullRows *metrics.Counter
+	pushRows *metrics.Counter
+	bytesTx  *metrics.Counter
+	bytesRx  *metrics.Counter
+}
+
+// Instrument publishes this client's parameter-server traffic into reg:
+// RPC counts (ps.{pull,push}_rpcs), row counts (ps.{pull,push}_rows), and
+// wire bytes split by direction (ps.bytes_tx / ps.bytes_rx, using the same
+// size accounting that feeds the netsim cost model). Clients wired to the
+// same registry aggregate. Call before the client is used.
+func (c *Client) Instrument(reg *metrics.Registry) {
+	c.obs = &clientObs{
+		pullRPCs: reg.Counter(metrics.MPSPullRPCs),
+		pushRPCs: reg.Counter(metrics.MPSPushRPCs),
+		pullRows: reg.Counter(metrics.MPSPullRows),
+		pushRows: reg.Counter(metrics.MPSPushRows),
+		bytesTx:  reg.Counter(metrics.MPSBytesTx),
+		bytesRx:  reg.Counter(metrics.MPSBytesRx),
+	}
 }
 
 // NewClient builds a client for a worker sitting on the given machine.
@@ -64,7 +92,14 @@ func (c *Client) Pull(keys []Key, dst map[Key][]float32) error {
 		if err != nil {
 			return fmt.Errorf("ps: pull from shard %d: %w", shard, err)
 		}
-		c.record(shard, c.pullWireBytes(len(ks), len(resp.Vals)))
+		tx, rx := c.pullWireBytes(len(ks), len(resp.Vals))
+		c.record(shard, tx+rx)
+		if o := c.obs; o != nil {
+			o.pullRPCs.Inc()
+			o.pullRows.Add(int64(len(ks)))
+			o.bytesTx.Add(tx)
+			o.bytesRx.Add(rx)
+		}
 		off := 0
 		for _, k := range ks {
 			w := c.Width(k)
@@ -111,7 +146,13 @@ func (c *Client) Push(grads map[Key][]float32) error {
 		if err := c.tr.Push(shard, &PushRequest{Keys: ks, Vals: vals}); err != nil {
 			return fmt.Errorf("ps: push to shard %d: %w", shard, err)
 		}
-		c.record(shard, c.pushWireBytes(len(ks), len(vals)))
+		tx := c.pushWireBytes(len(ks), len(vals))
+		c.record(shard, tx)
+		if o := c.obs; o != nil {
+			o.pushRPCs.Inc()
+			o.pushRows.Add(int64(len(ks)))
+			o.bytesTx.Add(tx)
+		}
 	}
 	return nil
 }
@@ -127,13 +168,14 @@ func (c *Client) groupByShard(keys []Key) map[int][]Key {
 	return groups
 }
 
-// pullWireBytes prices a pull round trip, deferring to the transport's own
-// accounting when it compresses the payload.
-func (c *Client) pullWireBytes(numKeys, numVals int) int64 {
+// pullWireBytes prices a pull round trip's request (tx) and response (rx)
+// sides, deferring to the transport's own accounting when it compresses
+// the payload.
+func (c *Client) pullWireBytes(numKeys, numVals int) (tx, rx int64) {
 	if sz, ok := c.tr.(Sizer); ok {
-		return sz.PullRequestWireBytes(numKeys) + sz.PullResponseWireBytes(numVals)
+		return sz.PullRequestWireBytes(numKeys), sz.PullResponseWireBytes(numVals)
 	}
-	return PullRequestBytes(numKeys) + PullResponseBytes(numVals)
+	return PullRequestBytes(numKeys), PullResponseBytes(numVals)
 }
 
 // pushWireBytes prices a push request.

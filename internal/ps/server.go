@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"hetkg/internal/metrics"
 	"hetkg/internal/opt"
 )
 
@@ -20,6 +21,37 @@ type Server struct {
 	mu    sync.RWMutex
 	rows  map[Key][]float32
 	optim opt.Optimizer
+
+	obs *serverObs
+}
+
+// serverObs holds a shard's registry-backed request series (see Instrument).
+type serverObs struct {
+	pulls      *metrics.Counter
+	pushes     *metrics.Counter
+	rowsPulled *metrics.Counter
+	rowsPushed *metrics.Counter
+	tcpConns   *metrics.Counter
+	tcpRx      *metrics.Counter
+	tcpTx      *metrics.Counter
+}
+
+// Instrument publishes this shard's request traffic into reg: served request
+// counts (ps.server.{pulls,pushes}) and row volumes
+// (ps.server.rows_{pulled,pushed}). When the shard is served over TCP
+// (ServeTCP), accepted connections and raw socket bytes are additionally
+// tracked as ps.tcp.{conns,rx_bytes,tx_bytes}. Shards wired to the same
+// registry aggregate. Call before the shard serves traffic.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	s.obs = &serverObs{
+		pulls:      reg.Counter(metrics.MPSServerPulls),
+		pushes:     reg.Counter(metrics.MPSServerPushes),
+		rowsPulled: reg.Counter(metrics.MPSServerRowsPulled),
+		rowsPushed: reg.Counter(metrics.MPSServerRowsPushed),
+		tcpConns:   reg.Counter(metrics.MPSTCPConns),
+		tcpRx:      reg.Counter(metrics.MPSTCPRxBytes),
+		tcpTx:      reg.Counter(metrics.MPSTCPTxBytes),
+	}
 }
 
 // ServerConfig parameterizes shard construction.
@@ -85,6 +117,10 @@ func (s *Server) NumRows() int {
 // Pull copies the requested rows, concatenated in key order, into a fresh
 // buffer. Unknown keys are an error: they indicate a placement bug.
 func (s *Server) Pull(keys []Key) ([]float32, error) {
+	if o := s.obs; o != nil {
+		o.pulls.Inc()
+		o.rowsPulled.Add(int64(len(keys)))
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	total := 0
@@ -105,6 +141,10 @@ func (s *Server) Pull(keys []Key) ([]float32, error) {
 // Push applies gradients for the given keys (concatenated in key order in
 // vals) through the shard's optimizer. This is Algorithm 4's push path.
 func (s *Server) Push(keys []Key, vals []float32) error {
+	if o := s.obs; o != nil {
+		o.pushes.Inc()
+		o.rowsPushed.Add(int64(len(keys)))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	off := 0

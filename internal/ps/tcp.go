@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"hetkg/internal/metrics"
 )
 
 // The TCP transport implements the same Pull/Push protocol over real
@@ -41,8 +43,31 @@ func ServeTCP(l net.Listener, srv *Server) {
 	}
 }
 
+// countingConn wraps a server-side connection, feeding raw socket byte
+// volumes (gob framing included) into an instrumented shard's registry.
+type countingConn struct {
+	net.Conn
+	rx, tx *metrics.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.rx.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.tx.Add(int64(n))
+	return n, err
+}
+
 func serveConn(conn net.Conn, srv *Server) {
 	defer conn.Close()
+	if o := srv.obs; o != nil {
+		o.tcpConns.Inc()
+		conn = &countingConn{Conn: conn, rx: o.tcpRx, tx: o.tcpTx}
+	}
 	br := bufio.NewWriter(conn)
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(br)

@@ -12,6 +12,7 @@ package train
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"hetkg/internal/cache"
@@ -120,6 +121,24 @@ type Config struct {
 	// (default: the in-process transport). Supplying ps.DialTCP-backed
 	// transports runs the whole training loop over real sockets.
 	NewTransport func(*ps.Cluster) (ps.Transport, error)
+
+	// Metrics is the registry every subsystem (workers, PS client and
+	// shards, caches, traffic meters) publishes into for the run. nil gets
+	// a fresh registry in Validate; supply one to share it with an
+	// introspection endpoint (internal/obs) or across runs.
+	Metrics *metrics.Registry
+
+	// Dataset is an optional label recorded in timeline headers.
+	Dataset string
+
+	// Timeline, when non-nil, receives the run's JSONL timeline: a header
+	// line followed by a deterministic registry snapshot every
+	// TimelineEvery global iterations (see metrics.TimelineEmitter).
+	Timeline io.Writer
+
+	// TimelineEvery is the iteration interval between timeline records
+	// (default metrics.DefaultTimelineEvery).
+	TimelineEvery int
 }
 
 // CacheConfig is the hot-embedding table configuration (§IV-B).
@@ -192,6 +211,12 @@ func (c *Config) Validate() error {
 		lr := c.LR
 		c.NewOptimizer = func() opt.Optimizer { return opt.NewAdaGrad(lr, 1e-10) }
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.TimelineEvery <= 0 {
+		c.TimelineEvery = metrics.DefaultTimelineEvery
+	}
 	return nil
 }
 
@@ -219,6 +244,9 @@ type Result struct {
 	// RefreshRows is the total rows re-pulled by cache builds and
 	// staleness refreshes — the overhead side of the Fig. 8(b) trade-off.
 	RefreshRows int64
+	// Metrics is the run's registry (Config.Metrics, or the one Validate
+	// created), holding every named series the run published.
+	Metrics *metrics.Registry
 }
 
 // LocalServiceRatio is the fraction of embedding reads served without any

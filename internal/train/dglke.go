@@ -47,7 +47,22 @@ type psEnv struct {
 func runPSTraining(cfg *Config, env *psEnv, workers []*worker, system string,
 	perIteration func(w *worker) error) (*Result, error) {
 
-	res := &Result{System: system}
+	res := &Result{System: system, Metrics: cfg.Metrics}
+	var em *metrics.TimelineEmitter
+	if cfg.Timeline != nil {
+		var err error
+		em, err = metrics.NewTimelineEmitter(cfg.Timeline, cfg.Metrics, metrics.TimelineHeader{
+			System:  system,
+			Dataset: cfg.Dataset,
+			Every:   cfg.TimelineEvery,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	round := 0 // global iterations: one round = one batch turn per worker
 	var cum time.Duration
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		// Each worker makes one pass over its own partition per epoch;
@@ -74,12 +89,23 @@ func runPSTraining(cfg *Config, env *psEnv, workers []*worker, system string,
 					return nil, err
 				}
 			}
+			round++
+			if em != nil && em.ShouldEmit(round) {
+				if err := emitTimeline(em, workers[0].obs, workers, round, epoch, start); err != nil {
+					return nil, err
+				}
+			}
 		}
 		stat, err := epochBarrier(cfg, env, workers, epoch, &cum)
 		if err != nil {
 			return nil, err
 		}
 		res.Epochs = append(res.Epochs, stat)
+	}
+	if em != nil {
+		if err := em.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return finalize(cfg, env, workers, res)
 }
@@ -189,6 +215,11 @@ func setupPS(cfg *Config) (*psEnv, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		for _, srv := range cluster.Servers {
+			srv.Instrument(cfg.Metrics)
+		}
 	}
 	var tr ps.Transport
 	if cfg.NewTransport != nil {

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"time"
+
+	"hetkg/internal/metrics"
+)
+
+// trainObs is the train-level view of a run's registry: the handles the
+// scheduling loop and workers bump directly. One instance is shared by all
+// workers of a run (newWorkers), so the series aggregate across workers the
+// same way the cache/client/meter series do.
+type trainObs struct {
+	iterations  *metrics.Counter
+	pairs       *metrics.Counter
+	loss        *metrics.Gauge
+	epoch       *metrics.Gauge
+	hitRatio    *metrics.Gauge
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	comp        *metrics.Timer
+}
+
+// newTrainObs registers (or re-binds) the train-level series in reg. The
+// cache.{hits,misses} counters are the same series HotCache.Instrument
+// feeds; binding them here keeps the hit-ratio gauge derivable for
+// cacheless trainers too (it just stays 0).
+func newTrainObs(reg *metrics.Registry) *trainObs {
+	return &trainObs{
+		iterations:  reg.Counter(metrics.MTrainIterations),
+		pairs:       reg.Counter(metrics.MTrainPairs),
+		loss:        reg.Gauge(metrics.MTrainLoss),
+		epoch:       reg.Gauge(metrics.MTrainEpoch),
+		hitRatio:    reg.Gauge(metrics.MCacheHitRatio),
+		cacheHits:   reg.Counter(metrics.MCacheHits),
+		cacheMisses: reg.Counter(metrics.MCacheMisses),
+		comp:        reg.Timer(metrics.MTrainCompWall),
+	}
+}
+
+// runningLoss is the mean pair loss across workers' running epoch averages
+// — the same aggregation epochBarrier reports, read mid-epoch.
+func runningLoss(workers []*worker) float64 {
+	var sum float64
+	n := 0
+	for _, w := range workers {
+		if w.lossCount > 0 {
+			sum += w.lossSum / float64(w.lossCount)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// emitTimeline refreshes the derived gauges (loss, epoch, hit ratio) and
+// writes one timeline record for the given global iteration. Everything
+// under the record's "metrics" key is deterministic; wall-clock readings
+// (elapsed, computation time, throughput) ride in the separate "wall"
+// object.
+func emitTimeline(em *metrics.TimelineEmitter, o *trainObs, workers []*worker,
+	iter, epoch int, start time.Time) error {
+
+	loss := runningLoss(workers)
+	o.loss.Set(loss)
+	o.epoch.Set(float64(epoch))
+	if h, m := o.cacheHits.Value(), o.cacheMisses.Value(); h+m > 0 {
+		o.hitRatio.Set(float64(h) / float64(h+m))
+	}
+	wall := &metrics.TimelineWall{
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		CompMS:    float64(o.comp.Total()) / float64(time.Millisecond),
+	}
+	if wall.ElapsedMS > 0 {
+		wall.PairsPerSec = float64(o.pairs.Value()) / (wall.ElapsedMS / 1000)
+	}
+	return em.Emit(metrics.TimelineRecord{
+		Iter:  iter,
+		Epoch: epoch,
+		Loss:  loss,
+		Wall:  wall,
+	})
+}

@@ -88,7 +88,7 @@ func TrainPBG(cfg Config) (*Result, error) {
 		members[b] = append(members[b], kg.EntityID(e))
 	}
 
-	res := &Result{System: "PBG"}
+	res := &Result{System: "PBG", Metrics: cfg.Metrics}
 	var cum time.Duration
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		var pairTimes []pairCost

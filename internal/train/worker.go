@@ -44,6 +44,7 @@ type worker struct {
 	degree int                  // resolved compute parallelism
 	rows   map[ps.Key][]float32 // per-batch working set (pulled + cached)
 	scr    *batchScratch        // worker-owned arena, reused across batches
+	obs    *trainObs            // run-shared registry handles (nil when unwired)
 
 	// queued holds prefetched batches to replay (HET-KG).
 	queued []*sampler.Batch
@@ -74,6 +75,10 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 		}
 		return false
 	}
+	var tobs *trainObs
+	if cfg.Metrics != nil {
+		tobs = newTrainObs(cfg.Metrics)
+	}
 	var workers []*worker
 	id := 0
 	for m := 0; m < cfg.NumMachines; m++ {
@@ -92,6 +97,10 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 			client, err := ps.NewClient(m, cluster, tr, meter)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.Metrics != nil {
+				meter.Instrument(cfg.Metrics, cfg.CostModel)
+				client.Instrument(cfg.Metrics)
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
 			smp, err := sampler.New(sampler.Config{
@@ -114,11 +123,15 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 				cfg:     cfg,
 				degree:  par.Degree(cfg.Parallelism),
 				rows:    make(map[ps.Key][]float32),
+				obs:     tobs,
 			}
 			if withCache {
 				hot, err := cache.New(client, cfg.NewOptimizer(), cfg.Cache.SyncEvery)
 				if err != nil {
 					return nil, err
+				}
+				if cfg.Metrics != nil {
+					hot.Instrument(cfg.Metrics)
 				}
 				w.hot = hot
 			}
@@ -290,7 +303,11 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 		lossSum += sc.lossSum
 		pairs += sc.pairs
 	}
-	w.compTime += time.Since(start)
+	elapsed := time.Since(start)
+	w.compTime += elapsed
+	if o := w.obs; o != nil {
+		o.comp.Observe(elapsed)
+	}
 
 	// Step 4: apply to cached copies, push everything to the PS.
 	if w.hot != nil {
@@ -302,12 +319,22 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 		return 0, err
 	}
 	w.iteration++
+	if o := w.obs; o != nil {
+		o.iterations.Inc()
+		o.pairs.Add(int64(pairs))
+	}
 	if pairs == 0 {
 		return 0, nil
 	}
 	mean := lossSum / float64(pairs)
 	w.lossSum += mean
 	w.lossCount++
+	if o := w.obs; o != nil {
+		// Keep the live endpoint's loss current even when no timeline
+		// emitter refreshes the derived gauges. Workers overwrite each
+		// other in scheduling order, which is deterministic.
+		o.loss.Set(w.lossSum / float64(w.lossCount))
+	}
 	return mean, nil
 }
 

@@ -6,6 +6,44 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== doc-comment lint (internal/metrics exported symbols)"
+# Every top-level exported declaration in internal/metrics must carry a doc
+# comment: the package is the observability contract other layers (and
+# EXPERIMENTS.md) build on, so undocumented surface is a defect here.
+undoc=$(
+    for f in internal/metrics/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        awk -v file="$f" '
+            /^(func|type) [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^(var|const) [A-Z]/ {
+                if (prev !~ /^\/\//)
+                    printf "%s:%d: missing doc comment: %s\n", file, FNR, $0
+            }
+            { prev = $0 }
+        ' "$f"
+    done
+)
+if [ -n "$undoc" ]; then
+    echo "$undoc"
+    echo "check: FAIL (undocumented exported symbols in internal/metrics)"
+    exit 1
+fi
+
+echo "== EXPERIMENTS.md metric coverage lint"
+# Every canonical metric name in internal/metrics/names.go must appear in
+# EXPERIMENTS.md's metric -> paper artifact table, so no series is emitted
+# without a documented meaning.
+missing=0
+for name in $(sed -n 's/.*= "\([a-z0-9_.]*\)"$/\1/p' internal/metrics/names.go); do
+    if ! grep -qF "$name" EXPERIMENTS.md; then
+        echo "EXPERIMENTS.md does not document metric \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (undocumented metric names)"
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
