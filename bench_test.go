@@ -30,6 +30,7 @@ import (
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
 	"hetkg/internal/sampler"
+	"hetkg/internal/span"
 	"hetkg/internal/train"
 	"hetkg/internal/vec"
 )
@@ -315,6 +316,51 @@ func BenchmarkProcessBatch(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bb.Pairs()), "ns/pair")
 		})
 	}
+}
+
+// BenchmarkProcessBatchSpans pins the span tracer's overhead guard against
+// BenchmarkProcessBatch (the PR 1 baseline, which has no collector at all):
+//
+//	tracer=off     Config.Spans nil — every span call is a nil-check branch.
+//	               Must match BenchmarkProcessBatch in ns/pair and allocs/op.
+//	tracer=sampled every batch traced end to end (Every=1), the worst case;
+//	               real runs trace 1/16 batches by default.
+func BenchmarkProcessBatchSpans(b *testing.B) {
+	g := dataset.FB15kLike(dataset.Tiny, 1)
+	base := train.Config{
+		Graph:       g,
+		Model:       model.TransE{Norm: 1},
+		Loss:        model.LogisticLoss{},
+		Dim:         128,
+		LR:          0.1,
+		Epochs:      1,
+		BatchSize:   256,
+		NegPerPos:   64,
+		ChunkSize:   16,
+		NumMachines: 1,
+		Seed:        7,
+		Parallelism: 1,
+	}
+	run := func(b *testing.B, cfg train.Config) {
+		bb, err := train.NewBatchBench(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bb.ProcessBatchTraced(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bb.Pairs()), "ns/pair")
+	}
+	b.Run("tracer=off", func(b *testing.B) { run(b, base) })
+	b.Run("tracer=sampled", func(b *testing.B) {
+		cfg := base
+		cfg.Spans = span.NewCollector(span.CollectorConfig{Every: 1, Capacity: 1 << 16})
+		run(b, cfg)
+	})
 }
 
 // BenchmarkEvaluate measures parallel link-prediction ranking in the

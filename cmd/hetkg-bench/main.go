@@ -30,6 +30,9 @@ func main() {
 		verbose = flag.Bool("v", false, "log progress")
 		asJSON  = flag.Bool("json", false, "emit tables as JSON lines instead of text")
 		tlDir   = flag.String("timeline", "", "write one JSONL timeline per training run into this directory")
+		spanDir = flag.String("span", "", "write one span dump per training run into this directory")
+		spanN   = flag.Int("span-every", 0, "batch sampling interval for -span (0 = default 16)")
+		spanFmt = flag.String("span-format", "jsonl", "span output format for -span: jsonl | chrome")
 	)
 	flag.Parse()
 
@@ -50,6 +53,9 @@ func main() {
 		Scale:       hetkg.ParseScale(*scale),
 		Seed:        *seed,
 		TimelineDir: *tlDir,
+		SpanDir:     *spanDir,
+		SpanEvery:   *spanN,
+		SpanFormat:  *spanFmt,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

@@ -36,7 +36,8 @@ func main() {
 		partName = flag.String("partitioner", "metis", "graph partitioner: metis | ldg | random")
 		seed     = flag.Int64("seed", 42, "random seed (must match the trainer)")
 		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
-		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, keep on loopback)")
+		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
+		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
 	)
 	flag.Parse()
 
@@ -59,7 +60,11 @@ func main() {
 	if *metAddr != "" {
 		reg := hetkg.NewMetricsRegistry()
 		shard.Instrument(reg)
-		srv, err := hetkg.ServeMetrics(*metAddr, reg)
+		var opts []hetkg.ServeOption
+		if *metAllow {
+			opts = append(opts, hetkg.MetricsAllowRemote())
+		}
+		srv, err := hetkg.ServeMetrics(*metAddr, reg, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 			os.Exit(1)

@@ -1,83 +1,218 @@
-// hetkg-trace compares training runs recorded with hetkg-train -trace:
-// aligned per-epoch columns plus an ASCII sparkline per run, for quick
-// convergence comparison without leaving the terminal.
+// hetkg-trace inspects training-run recordings.
 //
-// Usage:
+// Compare mode (the default) aligns per-epoch columns of runs recorded with
+// hetkg-train -trace and renders an ASCII sparkline per run, for quick
+// convergence comparison without leaving the terminal:
 //
 //	hetkg-train -dataset fb15k -system dglke   -trace a.jsonl
 //	hetkg-train -dataset fb15k -system hetkg-d -trace b.jsonl
 //	hetkg-trace a.jsonl b.jsonl
+//
+// Spans mode analyzes per-batch span dumps recorded with hetkg-train -span:
+// a comm-vs-compute-vs-cache attribution table over the sampled batches, the
+// top-k slowest spans, the per-machine straggler summary, and the slowest
+// batch's critical path:
+//
+//	hetkg-train -dataset fb15k -system hetkg-d -span s.jsonl
+//	hetkg-trace spans s.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"hetkg/internal/span"
 	"hetkg/internal/trace"
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "spans" {
+		fs := flag.NewFlagSet("spans", flag.ExitOnError)
+		topK := fs.Int("top", 5, "how many slowest spans to list")
+		fs.Parse(args[1:])
+		if fs.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: hetkg-trace spans [-top K] spans.jsonl [more.jsonl ...]")
+			os.Exit(2)
+		}
+		if err := spansReport(os.Stdout, fs.Args(), *topK); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	metric := flag.String("metric", "mrr", "column to compare: mrr | loss | comm_ms | hit_ratio")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: hetkg-trace [-metric mrr|loss|comm_ms|hit_ratio] run1.jsonl [run2.jsonl ...]")
+		fmt.Fprintln(os.Stderr, "       hetkg-trace spans [-top K] spans.jsonl [more.jsonl ...]")
 		os.Exit(2)
 	}
+	if err := compareRuns(os.Stdout, *metric, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
+// epochValue extracts one comparison metric from an epoch line.
+func epochValue(e trace.Epoch, metric string) (float64, error) {
+	switch metric {
+	case "mrr":
+		return e.MRR, nil
+	case "loss":
+		return e.Loss, nil
+	case "comm_ms":
+		return e.CommMS, nil
+	case "hit_ratio":
+		return e.HitRatio, nil
+	default:
+		return 0, fmt.Errorf("hetkg-trace: unknown metric %q (want mrr, loss, comm_ms, or hit_ratio)", metric)
+	}
+}
+
+// compareRuns renders the aligned per-epoch table and sparklines for the
+// given trace files.
+func compareRuns(w io.Writer, metric string, paths []string) error {
 	type loaded struct {
 		name string
-		run  *trace.Run
 		vals []float64
 	}
 	var runs []loaded
 	maxEpochs := 0
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		r, err := trace.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		vals := make([]float64, len(r.Epochs))
 		for i, e := range r.Epochs {
-			switch *metric {
-			case "loss":
-				vals[i] = e.Loss
-			case "comm_ms":
-				vals[i] = e.CommMS
-			case "hit_ratio":
-				vals[i] = e.HitRatio
-			default:
-				vals[i] = e.MRR
+			if vals[i], err = epochValue(e, metric); err != nil {
+				return err
 			}
 		}
 		name := fmt.Sprintf("%s/%s", r.Header.System, r.Header.Dataset)
-		runs = append(runs, loaded{name: name, run: r, vals: vals})
+		runs = append(runs, loaded{name: name, vals: vals})
 		if len(vals) > maxEpochs {
 			maxEpochs = len(vals)
 		}
 	}
 
 	// Aligned table.
-	fmt.Printf("%-28s", "epoch:")
+	fmt.Fprintf(w, "%-28s", "epoch:")
 	for e := 1; e <= maxEpochs; e++ {
-		fmt.Printf("%9d", e)
+		fmt.Fprintf(w, "%9d", e)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, r := range runs {
-		fmt.Printf("%-28s", r.name)
+		fmt.Fprintf(w, "%-28s", r.name)
 		for _, v := range r.vals {
-			fmt.Printf("%9.3f", v)
+			fmt.Fprintf(w, "%9.3f", v)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// Sparklines (min-max normalized per run).
-	fmt.Printf("\n%s over epochs:\n", *metric)
+	fmt.Fprintf(w, "\n%s over epochs:\n", metric)
 	for _, r := range runs {
-		fmt.Printf("%-28s %s\n", r.name, sparkline(r.vals))
+		fmt.Fprintf(w, "%-28s %s\n", r.name, sparkline(r.vals))
 	}
+	return nil
+}
+
+// spansReport analyzes each span dump: attribution, slowest spans,
+// stragglers, and the slowest batch's critical path.
+func spansReport(w io.Writer, paths []string, topK int) error {
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		d, err := span.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		a := span.Analyze(d.Spans, topK)
+		fmt.Fprintf(w, "%s: %s/%s, %d sampled batches (every %d), seed %d\n",
+			path, d.Header.System, d.Header.Dataset, len(a.Batches), d.Header.Every, d.Header.Seed)
+		if len(a.Batches) == 0 {
+			fmt.Fprintln(w, "  no batch spans in dump")
+			continue
+		}
+
+		fmt.Fprintf(w, "\ncritical-path attribution over %s of sampled batch time:\n", fmtDur(a.TotalBatch))
+		fmt.Fprintf(w, "  %-10s%12s%9s\n", "category", "total", "share")
+		for _, cat := range span.Categories() {
+			dur := a.Total[cat]
+			share := 0.0
+			if a.TotalBatch > 0 {
+				share = 100 * float64(dur) / float64(a.TotalBatch)
+			}
+			fmt.Fprintf(w, "  %-10s%12s%8.1f%%\n", cat, fmtDur(dur), share)
+		}
+
+		fmt.Fprintf(w, "\ntop-%d slowest spans:\n", len(a.Slowest))
+		fmt.Fprintf(w, "  %12s  %-20s%9s%8s%7s%7s%9s%11s\n",
+			"dur", "name", "machine", "worker", "iter", "shard", "rows", "bytes")
+		for _, s := range a.Slowest {
+			name := s.Name
+			if s.Sim {
+				name += " (sim)"
+			}
+			fmt.Fprintf(w, "  %12s  %-20s%9d%8d%7d%7s%9d%11d\n",
+				fmtDur(s.Duration()), name, s.Machine, s.Worker, s.Iter, fmtShard(s.Shard), s.Rows, s.Bytes)
+		}
+
+		fmt.Fprintln(w, "\nper-machine batches (straggler view):")
+		fmt.Fprintf(w, "  %-9s%9s%12s%12s\n", "machine", "batches", "mean", "max")
+		for _, m := range a.Machines {
+			fmt.Fprintf(w, "  %-9d%9d%12s%12s\n", m.Machine, m.Batches, fmtDur(m.Mean), fmtDur(m.Max))
+		}
+
+		slow := slowestBatch(a)
+		chain := span.CriticalPath(d.Spans, slow)
+		fmt.Fprintf(w, "\nslowest batch critical path (machine %d worker %d iter %d, %s):\n  ",
+			slow.Machine, slow.Worker, slow.Iter, fmtDur(slow.Duration()))
+		for i, s := range chain {
+			if i > 0 {
+				fmt.Fprint(w, " -> ")
+			}
+			fmt.Fprintf(w, "%s %s", s.Name, fmtDur(s.Duration()))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// slowestBatch returns the root span of the longest sampled batch.
+func slowestBatch(a *span.Analysis) span.Span {
+	idx := 0
+	for i, b := range a.Batches {
+		if b.Root.DurNS > a.Batches[idx].Root.DurNS {
+			idx = i
+		}
+	}
+	return a.Batches[idx].Root
+}
+
+// fmtDur renders durations compactly for tables (microsecond precision
+// below a millisecond, otherwise 10µs precision).
+func fmtDur(d time.Duration) string {
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// fmtShard renders a span's target shard, "-" when not applicable.
+func fmtShard(shard int) string {
+	if shard == span.NoShard {
+		return "-"
+	}
+	return fmt.Sprintf("%d", shard)
 }
 
 // sparkline renders values as Unicode block characters, min-max scaled.

@@ -48,7 +48,11 @@ func main() {
 		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
 		timeline = flag.String("timeline", "", "write a per-iteration JSONL timeline to this file")
 		tlEvery  = flag.Int("timeline-every", 0, "iterations between timeline records (0 = default)")
-		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, keep on loopback)")
+		spanOut  = flag.String("span", "", "trace every Nth batch per worker and write the spans to this file")
+		spanN    = flag.Int("span-every", 0, "batch sampling interval for -span (0 = default 16)")
+		spanFmt  = flag.String("span-format", "jsonl", "span output format: jsonl (hetkg-spans/v1) | chrome (Perfetto trace-event JSON)")
+		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
+		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
 		machine  = flag.Int("machine", -1, "run only this machine's workers (-1 = all; requires -shards for a real deployment)")
 		advTemp  = flag.Float64("adversarial", 0, "self-adversarial negative sampling temperature (0 = off)")
 		degNegs  = flag.Bool("degree-negatives", false, "corrupt with degree^0.75-weighted entities (hard negatives)")
@@ -100,7 +104,11 @@ func main() {
 
 	reg := hetkg.NewMetricsRegistry()
 	if *metAddr != "" {
-		srv, err := hetkg.ServeMetrics(*metAddr, reg)
+		var opts []hetkg.ServeOption
+		if *metAllow {
+			opts = append(opts, hetkg.MetricsAllowRemote())
+		}
+		srv, err := hetkg.ServeMetrics(*metAddr, reg, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 			os.Exit(1)
@@ -141,6 +149,9 @@ func main() {
 		Metrics:                 reg,
 		TimelinePath:            *timeline,
 		TimelineEvery:           *tlEvery,
+		SpanPath:                *spanOut,
+		SpanEvery:               *spanN,
+		SpanFormat:              *spanFmt,
 		Seed:                    *seed,
 	})
 	if err != nil {
@@ -163,6 +174,14 @@ func main() {
 	}
 	if *timeline != "" {
 		fmt.Printf("timeline written to %s\n", *timeline)
+	}
+	if *spanOut != "" {
+		fmt.Printf("spans written to %s (%s format)\n", *spanOut, *spanFmt)
+		if *spanFmt == "chrome" {
+			fmt.Println("open in https://ui.perfetto.dev or chrome://tracing")
+		} else {
+			fmt.Printf("analyze with: hetkg-trace spans %s\n", *spanOut)
+		}
 	}
 	if *traceOut != "" {
 		err := trace.WriteFile(*traceOut, trace.Header{

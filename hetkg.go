@@ -43,6 +43,7 @@ import (
 	"hetkg/internal/netsim"
 	"hetkg/internal/obs"
 	"hetkg/internal/ps"
+	"hetkg/internal/span"
 	"hetkg/internal/train"
 	"hetkg/internal/vec"
 )
@@ -178,11 +179,19 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // JSON under /metrics plus the net/http/pprof profiles.
 type MetricsServer = obs.Server
 
+// ServeOption adjusts ServeMetrics.
+type ServeOption = obs.Option
+
+// MetricsAllowRemote permits ServeMetrics to bind non-loopback addresses.
+// The endpoint serves unauthenticated pprof; only use this on a trusted
+// network.
+func MetricsAllowRemote() ServeOption { return obs.AllowRemote() }
+
 // ServeMetrics starts an introspection endpoint on addr. The endpoint is
-// unauthenticated — bind it to loopback (e.g. "127.0.0.1:6060") unless the
-// network is trusted; see DESIGN.md §7.
-func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
-	return obs.Serve(addr, reg)
+// unauthenticated, so non-loopback addresses are refused unless
+// MetricsAllowRemote is passed; see DESIGN.md §7.
+func ServeMetrics(addr string, reg *MetricsRegistry, opts ...ServeOption) (*MetricsServer, error) {
+	return obs.Serve(addr, reg, opts...)
 }
 
 // TimelineRun is a parsed run timeline (header plus records).
@@ -193,6 +202,14 @@ type TimelineRun = metrics.TimelineRun
 func ReadTimelineFile(path string) (*TimelineRun, error) {
 	return metrics.ReadTimelineFile(path)
 }
+
+// SpanDump is a parsed per-batch span dump (header plus spans), written via
+// RunConfig.SpanPath or hetkg-train/hetkg-bench -span.
+type SpanDump = span.Dump
+
+// ReadSpansFile parses a hetkg-spans/v1 JSONL span dump. Chrome-format
+// exports are for Perfetto, not this reader.
+func ReadSpansFile(path string) (*SpanDump, error) { return span.ReadFile(path) }
 
 // CostModel converts metered traffic into simulated time.
 type CostModel = netsim.CostModel

@@ -7,6 +7,7 @@ import (
 	"hetkg/internal/metrics"
 	"hetkg/internal/opt"
 	"hetkg/internal/ps"
+	"hetkg/internal/span"
 )
 
 // HotCache is one worker's hot-embedding table: a fixed identifier set with
@@ -39,7 +40,9 @@ type HotCache struct {
 	// traffic; per-row refresh misses flow through the normal pull path).
 	refreshed metrics.Counter
 
-	obs *cacheObs
+	obs    *cacheObs
+	tracer *span.Tracer
+	sc     span.Context
 }
 
 // cacheObs holds a cache's registry-backed series (see Instrument).
@@ -65,6 +68,32 @@ func (h *HotCache) Instrument(reg *metrics.Registry) {
 		staleness: reg.Histogram(metrics.MCacheStaleness),
 		evicted:   reg.Counter(metrics.MCacheEvictedRows),
 		refreshed: reg.Counter(metrics.MCacheRefreshRows),
+	}
+}
+
+// Trace attaches the owning worker's span tracer. Build and Refresh then
+// record cache.refresh spans under the current span context, with their bulk
+// pulls nested beneath. Safe to leave unset.
+func (h *HotCache) Trace(t *span.Tracer) { h.tracer = t }
+
+// SetSpanContext sets the context refresh spans parent under — the sampled
+// batch's root span. Pass the zero Context to stop recording.
+func (h *HotCache) SetSpanContext(sc span.Context) { h.sc = sc }
+
+// refreshSpan opens a cache.refresh span and re-parents the client's RPC
+// spans beneath it for the duration of the bulk pull, so refresh traffic
+// attributes to the refresh, not directly to the batch. done() ends the span
+// and restores the client's context.
+func (h *HotCache) refreshSpan() (sp span.Active, done func(rows int64)) {
+	sp = h.tracer.StartChild(h.sc, span.NCacheRefresh)
+	if !sp.Valid() {
+		return sp, func(int64) {}
+	}
+	prev := h.client.SpanContext()
+	h.client.SetSpanContext(sp.Context())
+	return sp, func(rows int64) {
+		h.client.SetSpanContext(prev)
+		sp.EndAttrs(span.Attrs{Rows: rows, Shard: span.NoShard})
 	}
 }
 
@@ -105,7 +134,10 @@ func (h *HotCache) Build(keys []ps.Key, iteration int) error {
 		sorted := make([]ps.Key, len(keys))
 		copy(sorted, keys)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		if err := h.client.Pull(sorted, fresh); err != nil {
+		_, done := h.refreshSpan()
+		err := h.client.Pull(sorted, fresh)
+		done(int64(len(sorted)))
+		if err != nil {
 			return fmt.Errorf("cache: building hot-embedding table: %w", err)
 		}
 		h.refreshed.Add(int64(len(sorted)))
@@ -209,7 +241,10 @@ func (h *HotCache) Refresh(iteration int) error {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	fresh := make(map[ps.Key][]float32, len(keys))
-	if err := h.client.Pull(keys, fresh); err != nil {
+	_, done := h.refreshSpan()
+	err := h.client.Pull(keys, fresh)
+	done(int64(len(keys)))
+	if err != nil {
 		return fmt.Errorf("cache: refreshing hot-embedding table: %w", err)
 	}
 	h.refreshed.Add(int64(len(keys)))

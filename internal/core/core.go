@@ -23,6 +23,7 @@ import (
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
 	"hetkg/internal/sampler"
+	"hetkg/internal/span"
 	"hetkg/internal/train"
 	"hetkg/internal/vec"
 )
@@ -135,6 +136,16 @@ type RunConfig struct {
 	// interval between records (default metrics.DefaultTimelineEvery).
 	TimelinePath  string
 	TimelineEvery int
+
+	// SpanPath, when non-empty, enables per-batch span tracing and writes
+	// the collected spans there after the run (parent directories are
+	// created). SpanEvery is the per-worker batch sampling interval
+	// (default span.DefaultEvery); SpanFormat is span.FormatJSONL (default,
+	// the hetkg-spans/v1 dump hetkg-trace reads) or span.FormatChrome
+	// (trace-event JSON for Perfetto / chrome://tracing).
+	SpanPath   string
+	SpanEvery  int
+	SpanFormat string
 
 	Seed int64
 }
@@ -336,10 +347,32 @@ func Run(rc RunConfig) (*train.Result, error) {
 		timelineFile = f
 		tc.Timeline = f
 	}
+	var spans *span.Collector
+	if rc.SpanPath != "" {
+		switch rc.SpanFormat {
+		case "", span.FormatJSONL, span.FormatChrome:
+		default:
+			return nil, fmt.Errorf("core: unknown span format %q (want %s or %s)",
+				rc.SpanFormat, span.FormatJSONL, span.FormatChrome)
+		}
+		spans = span.NewCollector(span.CollectorConfig{Every: rc.SpanEvery})
+		tc.Spans = spans
+	}
 	res, err := runSystem(rc.System, tc)
 	if timelineFile != nil {
 		if cerr := timelineFile.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("core: closing timeline: %w", cerr)
+		}
+	}
+	if spans != nil && err == nil {
+		if dir := filepath.Dir(rc.SpanPath); dir != "." {
+			if merr := os.MkdirAll(dir, 0o755); merr != nil {
+				return res, fmt.Errorf("core: creating span directory: %w", merr)
+			}
+		}
+		hdr := span.Header{System: res.System, Dataset: rc.Dataset, Every: spans.Every(), Seed: rc.Seed}
+		if werr := span.WriteFile(rc.SpanPath, rc.SpanFormat, hdr, spans.Drain()); werr != nil {
+			return res, fmt.Errorf("core: writing spans: %w", werr)
 		}
 	}
 	return res, err
@@ -374,6 +407,12 @@ type Options struct {
 	// TimelineDir, when non-empty, writes one sequenced timeline file per
 	// training run under this directory (NNN-dataset-system.jsonl).
 	TimelineDir string
+	// SpanDir, when non-empty, writes one sequenced span dump per training
+	// run under this directory (NNN-dataset-system.spans.jsonl or .json for
+	// the chrome format). SpanEvery and SpanFormat forward to RunConfig.
+	SpanDir    string
+	SpanEvery  int
+	SpanFormat string
 }
 
 // timelineSeq numbers experiment timeline files within a process, so runs
@@ -385,16 +424,29 @@ var timelineSeq atomic.Int64
 // sequenced file there. Experiment implementations call this instead of
 // Run.
 func (o Options) run(rc RunConfig) (*train.Result, error) {
+	ds := rc.Dataset
+	if ds == "" {
+		ds = "custom"
+	}
 	if o.TimelineDir != "" && rc.TimelinePath == "" {
-		ds := rc.Dataset
-		if ds == "" {
-			ds = "custom"
-		}
 		name := fmt.Sprintf("%03d-%s-%s.jsonl", timelineSeq.Add(1), ds, rc.System)
 		rc.TimelinePath = filepath.Join(o.TimelineDir, name)
 	}
+	if o.SpanDir != "" && rc.SpanPath == "" {
+		ext := "spans.jsonl"
+		if o.SpanFormat == span.FormatChrome {
+			ext = "trace.json"
+		}
+		name := fmt.Sprintf("%03d-%s-%s.%s", spanSeq.Add(1), ds, rc.System, ext)
+		rc.SpanPath = filepath.Join(o.SpanDir, name)
+		rc.SpanEvery = o.SpanEvery
+		rc.SpanFormat = o.SpanFormat
+	}
 	return Run(rc)
 }
+
+// spanSeq numbers experiment span dumps, like timelineSeq.
+var spanSeq atomic.Int64
 
 func (o *Options) defaults() {
 	if o.Seed == 0 {

@@ -115,7 +115,11 @@ type TimelineRun struct {
 	Records []TimelineRecord
 }
 
-// ReadTimeline parses a timeline written by TimelineEmitter.
+// ReadTimeline parses a timeline written by TimelineEmitter. A malformed
+// final line is tolerated: a run killed mid-write (crash, SIGKILL, full
+// disk) leaves a truncated trailing record, and the complete prefix is still
+// a valid timeline. A malformed line followed by further records is real
+// corruption and stays an error.
 func ReadTimeline(r io.Reader) (*TimelineRun, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -130,14 +134,19 @@ func ReadTimeline(r io.Reader) (*TimelineRun, error) {
 		return nil, fmt.Errorf("metrics: not a timeline file (kind %q)", run.Header.Kind)
 	}
 	line := 1
+	var pendingErr error // a parse failure that is fatal only if more data follows
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
 		var rec TimelineRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("metrics: timeline line %d: %w", line, err)
+			pendingErr = fmt.Errorf("metrics: timeline line %d: %w", line, err)
+			continue
 		}
 		run.Records = append(run.Records, rec)
 	}

@@ -87,6 +87,41 @@ func TestTimelineDefaultEvery(t *testing.T) {
 	}
 }
 
+// TestReadTimelineToleratesTruncatedTail simulates a run killed mid-write:
+// the final record is cut mid-JSON. The complete prefix must parse; the same
+// malformed line anywhere but last must stay an error.
+func TestReadTimelineToleratesTruncatedTail(t *testing.T) {
+	header := `{"kind":"hetkg-timeline/v1","every":5,"seed":1}` + "\n"
+	rec1 := `{"iter":5,"epoch":1,"loss":2.5}` + "\n"
+	rec2 := `{"iter":10,"epoch":1,"loss":2.1}` + "\n"
+	cut := `{"iter":15,"epoch":1,"lo` // SIGKILL mid-record, no newline
+
+	run, err := ReadTimeline(strings.NewReader(header + rec1 + rec2 + cut))
+	if err != nil {
+		t.Fatalf("truncated tail rejected: %v", err)
+	}
+	if len(run.Records) != 2 {
+		t.Fatalf("got %d records, want the 2 complete ones", len(run.Records))
+	}
+	if run.Records[1].Iter != 10 || run.Records[1].Loss != 2.1 {
+		t.Fatalf("last complete record = %+v", run.Records[1])
+	}
+
+	// A trailing truncated line followed only by blank lines is still a tail.
+	run, err = ReadTimeline(strings.NewReader(header + rec1 + cut + "\n\n"))
+	if err != nil {
+		t.Fatalf("truncated tail before blank lines rejected: %v", err)
+	}
+	if len(run.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(run.Records))
+	}
+
+	// The same bad line mid-file is corruption, not truncation.
+	if _, err := ReadTimeline(strings.NewReader(header + rec1 + cut + "\n" + rec2)); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
 func TestReadTimelineRejectsOtherKinds(t *testing.T) {
 	in := `{"kind":"hetkg-trace/v1"}` + "\n"
 	if _, err := ReadTimeline(strings.NewReader(in)); err == nil {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hetkg/internal/metrics"
+	"hetkg/internal/span"
 )
 
 // CostModel converts message counts and byte volumes into elapsed time.
@@ -129,6 +130,26 @@ func (m *Meter) RecordRemote(bytes int64) {
 		o.remoteMsgs.Inc()
 		o.remoteBytes.Add(bytes)
 		o.simWireNS.Add(int64(o.cm.RemoteTime(1, bytes)))
+	}
+}
+
+// RecordLocalSpan is RecordLocal plus a simulated wire.sim span: when the
+// meter is instrumented (the cost model lives on the obs struct) and sc
+// belongs to a sampled batch, the priced local time is recorded under sc so
+// the trace shows what this message would have cost on the modeled link.
+func (m *Meter) RecordLocalSpan(bytes int64, tr *span.Tracer, sc span.Context) {
+	m.RecordLocal(bytes)
+	if o := m.obs; o != nil {
+		tr.RecordSim(sc, span.NWireSim, o.cm.LocalTime(1, bytes), bytes)
+	}
+}
+
+// RecordRemoteSpan is RecordRemote plus a simulated wire.sim span priced at
+// the modeled inter-machine link.
+func (m *Meter) RecordRemoteSpan(bytes int64, tr *span.Tracer, sc span.Context) {
+	m.RecordRemote(bytes)
+	if o := m.obs; o != nil {
+		tr.RecordSim(sc, span.NWireSim, o.cm.RemoteTime(1, bytes), bytes)
 	}
 }
 

@@ -26,6 +26,21 @@ type Server struct {
 	addr string
 }
 
+// Option adjusts Serve's behaviour.
+type Option func(*serveOpts)
+
+type serveOpts struct {
+	allowRemote bool
+}
+
+// AllowRemote permits binding non-loopback addresses. The endpoint serves
+// unauthenticated pprof handlers (heap contents, CPU profiles), so Serve
+// refuses such addresses by default; pass this option only on a trusted
+// network.
+func AllowRemote() Option {
+	return func(o *serveOpts) { o.allowRemote = true }
+}
+
 // Serve starts the endpoint on addr (e.g. "127.0.0.1:6060"; a ":0" port
 // picks a free one — read the chosen address back with Addr). Routes:
 //
@@ -33,13 +48,25 @@ type Server struct {
 //	/healthz       liveness probe ("ok")
 //	/debug/pprof/  the net/http/pprof index and profiles
 //
+// The endpoint is unauthenticated, so addr must resolve to a loopback
+// interface unless the AllowRemote option is given.
+//
 // The server runs on its own goroutine until Close.
-func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+func Serve(addr string, reg *metrics.Registry, opts ...Option) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("obs: nil registry")
 	}
+	var so serveOpts
+	for _, o := range opts {
+		o(&so)
+	}
 	if addr == "" {
 		addr = "127.0.0.1:0"
+	}
+	if !so.allowRemote {
+		if err := checkLoopback(addr); err != nil {
+			return nil, err
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -73,6 +100,26 @@ func Serve(addr string, reg *metrics.Registry) (*Server, error) {
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return s, nil
+}
+
+// checkLoopback rejects listen addresses that would expose the endpoint
+// beyond the local host: an empty host (all interfaces) or a host that is
+// neither "localhost" nor a loopback IP.
+func checkLoopback(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("obs: invalid address %q: %w", addr, err)
+	}
+	if host == "" {
+		return fmt.Errorf("obs: refusing to serve unauthenticated pprof on all interfaces (%q); bind a loopback address or opt in with AllowRemote", addr)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
+		return nil
+	}
+	return fmt.Errorf("obs: refusing non-loopback address %q for the unauthenticated endpoint; bind 127.0.0.1/[::1]/localhost or opt in with AllowRemote", addr)
 }
 
 // Addr returns the address the endpoint is listening on.

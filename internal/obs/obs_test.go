@@ -71,3 +71,32 @@ func TestServeNilRegistry(t *testing.T) {
 		t.Fatal("Serve accepted a nil registry")
 	}
 }
+
+// TestServeRefusesNonLoopback checks the endpoint — which serves
+// unauthenticated pprof — refuses non-loopback binds unless AllowRemote is
+// passed explicitly.
+func TestServeRefusesNonLoopback(t *testing.T) {
+	reg := metrics.NewRegistry()
+	for _, addr := range []string{"0.0.0.0:0", ":0", "192.0.2.1:0", "[::]:0", "example.com:0"} {
+		if s, err := Serve(addr, reg); err == nil {
+			s.Close()
+			t.Errorf("Serve(%q) bound without AllowRemote", addr)
+		}
+	}
+	// Loopback spellings all pass.
+	for _, addr := range []string{"", "127.0.0.1:0", "localhost:0", "[::1]:0"} {
+		s, err := Serve(addr, reg)
+		if err != nil {
+			t.Errorf("Serve(%q) refused: %v", addr, err)
+			continue
+		}
+		s.Close()
+	}
+	// AllowRemote overrides the check (bind to a wildcard, which always
+	// resolves on the test host).
+	s, err := Serve("0.0.0.0:0", reg, AllowRemote())
+	if err != nil {
+		t.Fatalf("Serve with AllowRemote refused: %v", err)
+	}
+	s.Close()
+}

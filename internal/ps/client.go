@@ -6,6 +6,7 @@ import (
 
 	"hetkg/internal/metrics"
 	"hetkg/internal/netsim"
+	"hetkg/internal/span"
 )
 
 // Client is a worker's view of the parameter server. It routes each key to
@@ -21,6 +22,8 @@ type Client struct {
 	entDim  int
 	relDim  int
 	obs     *clientObs
+	tracer  *span.Tracer
+	sc      span.Context
 }
 
 // clientObs holds a client's registry-backed RPC series (see Instrument).
@@ -71,6 +74,21 @@ func (c *Client) Machine() int { return c.machine }
 // Meter returns the client's traffic meter (nil if disabled).
 func (c *Client) Meter() *netsim.Meter { return c.meter }
 
+// Trace attaches the owning worker's span tracer. Each per-shard RPC is then
+// recorded as a ps.pull / ps.push span under the current span context, with
+// the request carrying the RPC span's context so shard-side spans nest under
+// it. Safe to leave unset.
+func (c *Client) Trace(t *span.Tracer) { c.tracer = t }
+
+// SetSpanContext sets the context new RPC spans parent under — the sampled
+// batch's root span (or a cache-refresh span, for the refresh's bulk pull).
+// Pass the zero Context to stop recording. The worker owns the client, so
+// this is not synchronized with Pull/Push.
+func (c *Client) SetSpanContext(sc span.Context) { c.sc = sc }
+
+// SpanContext returns the current RPC parent context.
+func (c *Client) SpanContext() span.Context { return c.sc }
+
 // Width returns the row width for key k.
 func (c *Client) Width(k Key) int {
 	if k.IsRelation() {
@@ -88,12 +106,15 @@ func (c *Client) Pull(keys []Key, dst map[Key][]float32) error {
 		if len(ks) == 0 {
 			continue
 		}
-		resp, err := c.tr.Pull(shard, &PullRequest{Keys: ks})
+		sp := c.tracer.StartChild(c.sc, span.NPSPull)
+		resp, err := c.tr.Pull(shard, &PullRequest{Keys: ks, Trace: sp.Context()})
 		if err != nil {
+			sp.EndAttrs(span.Attrs{Rows: int64(len(ks)), Shard: shard})
 			return fmt.Errorf("ps: pull from shard %d: %w", shard, err)
 		}
 		tx, rx := c.pullWireBytes(len(ks), len(resp.Vals))
-		c.record(shard, tx+rx)
+		c.record(shard, tx+rx, sp.Context())
+		sp.EndAttrs(span.Attrs{Rows: int64(len(ks)), Bytes: tx + rx, Shard: shard})
 		if o := c.obs; o != nil {
 			o.pullRPCs.Inc()
 			o.pullRows.Add(int64(len(ks)))
@@ -143,11 +164,14 @@ func (c *Client) Push(grads map[Key][]float32) error {
 			}
 			vals = append(vals, g...)
 		}
-		if err := c.tr.Push(shard, &PushRequest{Keys: ks, Vals: vals}); err != nil {
+		sp := c.tracer.StartChild(c.sc, span.NPSPush)
+		if err := c.tr.Push(shard, &PushRequest{Keys: ks, Vals: vals, Trace: sp.Context()}); err != nil {
+			sp.EndAttrs(span.Attrs{Rows: int64(len(ks)), Shard: shard})
 			return fmt.Errorf("ps: push to shard %d: %w", shard, err)
 		}
 		tx := c.pushWireBytes(len(ks), len(vals))
-		c.record(shard, tx)
+		c.record(shard, tx, sp.Context())
+		sp.EndAttrs(span.Attrs{Rows: int64(len(ks)), Bytes: tx, Shard: shard})
 		if o := c.obs; o != nil {
 			o.pushRPCs.Inc()
 			o.pushRows.Add(int64(len(ks)))
@@ -186,13 +210,13 @@ func (c *Client) pushWireBytes(numKeys, numVals int) int64 {
 	return PushRequestBytes(numKeys, numVals)
 }
 
-func (c *Client) record(shard int, bytes int64) {
+func (c *Client) record(shard int, bytes int64, sc span.Context) {
 	if c.meter == nil {
 		return
 	}
 	if shard == c.machine {
-		c.meter.RecordLocal(bytes)
+		c.meter.RecordLocalSpan(bytes, c.tracer, sc)
 	} else {
-		c.meter.RecordRemote(bytes)
+		c.meter.RecordRemoteSpan(bytes, c.tracer, sc)
 	}
 }

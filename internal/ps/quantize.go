@@ -1,6 +1,10 @@
 package ps
 
-import "fmt"
+import (
+	"fmt"
+
+	"hetkg/internal/span"
+)
 
 // Sizer lets a transport report its own wire sizes to the traffic meter.
 // Transports that compress the payload implement it so the netsim cost
@@ -107,6 +111,15 @@ func (t *QuantizedTransport) Push(shard int, req *PushRequest) error {
 
 // Close implements Transport.
 func (t *QuantizedTransport) Close() error { return t.inner.Close() }
+
+// Trace forwards a transport tracer to the wrapped transport when it records
+// spans (the TCP transport does; InProc has no wire work to time). Requests
+// pass through with their Trace context intact either way.
+func (t *QuantizedTransport) Trace(tr *span.Tracer) {
+	if tt, ok := t.inner.(interface{ Trace(*span.Tracer) }); ok {
+		tt.Trace(tr)
+	}
+}
 
 // Wire sizes: 1 byte per value, 4 bytes of scale per row (approximated as
 // 4 bytes per key), keys and framing unchanged.

@@ -7,6 +7,7 @@ import (
 
 	"hetkg/internal/metrics"
 	"hetkg/internal/opt"
+	"hetkg/internal/span"
 )
 
 // Server is one parameter-server shard. It owns a subset of the embedding
@@ -22,7 +23,8 @@ type Server struct {
 	rows  map[Key][]float32
 	optim opt.Optimizer
 
-	obs *serverObs
+	obs    *serverObs
+	tracer *span.Tracer
 }
 
 // serverObs holds a shard's registry-backed request series (see Instrument).
@@ -84,6 +86,30 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // Machine returns the shard's machine index.
 func (s *Server) Machine() int { return s.machine }
+
+// Trace attaches a span tracer to the shard. Shard-side request handling is
+// then recorded as shard.pull / shard.apply spans parented under the context
+// carried in the request (zero context → no-op). Safe to leave unset.
+func (s *Server) Trace(t *span.Tracer) { s.tracer = t }
+
+// PullTraced serves a pull, recording a shard.pull span stitched to the
+// originating batch via sc. Transports call this; Pull(keys) is the
+// untraced equivalent.
+func (s *Server) PullTraced(sc span.Context, keys []Key) ([]float32, error) {
+	sp := s.tracer.StartChild(sc, span.NShardPull)
+	vals, err := s.Pull(keys)
+	sp.EndAttrs(span.Attrs{Rows: int64(len(keys)), Shard: s.machine})
+	return vals, err
+}
+
+// PushTraced applies a push, recording a shard.apply span stitched to the
+// originating batch via sc.
+func (s *Server) PushTraced(sc span.Context, keys []Key, vals []float32) error {
+	sp := s.tracer.StartChild(sc, span.NShardApply)
+	err := s.Push(keys, vals)
+	sp.EndAttrs(span.Attrs{Rows: int64(len(keys)), Shard: s.machine})
+	return err
+}
 
 // Width returns the row width for key k.
 func (s *Server) Width(k Key) int {

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hetkg/internal/metrics"
+	"hetkg/internal/span"
 )
 
 // The TCP transport implements the same Pull/Push protocol over real
@@ -17,11 +18,16 @@ import (
 // process boundaries. Experiments use InProc (deterministic timing);
 // integration tests exercise this path.
 
-// wireRequest is the on-wire envelope for both operations.
+// wireRequest is the on-wire envelope for both operations. TraceID/ParentID
+// carry the originating batch's span context across the wire (gob omits
+// zero values, so untraced requests pay nothing extra); the serving shard
+// parents its spans under them.
 type wireRequest struct {
-	Op   byte // 'P' pull, 'U' push
-	Keys []Key
-	Vals []float32
+	Op       byte // 'P' pull, 'U' push
+	Keys     []Key
+	Vals     []float32
+	TraceID  uint64
+	ParentID uint64
 }
 
 // wireResponse is the on-wire reply.
@@ -77,16 +83,17 @@ func serveConn(conn net.Conn, srv *Server) {
 			return // io.EOF on clean close
 		}
 		var resp wireResponse
+		sc := span.Context{Trace: req.TraceID, Parent: req.ParentID}
 		switch req.Op {
 		case 'P':
-			vals, err := srv.Pull(req.Keys)
+			vals, err := srv.PullTraced(sc, req.Keys)
 			if err != nil {
 				resp.Err = err.Error()
 			} else {
 				resp.Vals = vals
 			}
 		case 'U':
-			if err := srv.Push(req.Keys, req.Vals); err != nil {
+			if err := srv.PushTraced(sc, req.Keys, req.Vals); err != nil {
 				resp.Err = err.Error()
 			}
 		default:
@@ -105,8 +112,16 @@ func serveConn(conn net.Conn, srv *Server) {
 // connection per shard. Calls on the same shard are serialized by a
 // per-connection mutex.
 type TCPTransport struct {
-	conns []*tcpConn
+	conns  []*tcpConn
+	tracer *span.Tracer
 }
+
+// Trace attaches a span tracer to the transport. Traced requests then record
+// transport.serialize (gob encode + flush) and wire.tcp (request flushed →
+// response decoded, which includes shard service time) spans. The transport
+// is shared by every worker on the process, so wire its tracer with the
+// MachineTransport/WorkerTransport pseudo-coordinates.
+func (t *TCPTransport) Trace(tr *span.Tracer) { t.tracer = tr }
 
 type tcpConn struct {
 	mu   sync.Mutex
@@ -141,15 +156,20 @@ func (t *TCPTransport) call(shard int, req *wireRequest) (*wireResponse, error) 
 		return nil, fmt.Errorf("ps: no shard %d", shard)
 	}
 	c := t.conns[shard]
+	sc := span.Context{Trace: req.TraceID, Parent: req.ParentID}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ser := t.tracer.StartChild(sc, span.NSerialize)
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("ps: sending to shard %d: %w", shard, err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, fmt.Errorf("ps: flushing to shard %d: %w", shard, err)
 	}
+	ser.EndAttrs(span.Attrs{Rows: int64(len(req.Keys)), Shard: shard})
+	wire := t.tracer.StartChild(sc, span.NWireTCP)
 	var resp wireResponse
+	defer func() { wire.EndAttrs(span.Attrs{Shard: shard}) }()
 	if err := c.dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("ps: shard %d closed the connection", shard)
@@ -164,7 +184,10 @@ func (t *TCPTransport) call(shard int, req *wireRequest) (*wireResponse, error) 
 
 // Pull implements Transport.
 func (t *TCPTransport) Pull(shard int, req *PullRequest) (*PullResponse, error) {
-	resp, err := t.call(shard, &wireRequest{Op: 'P', Keys: req.Keys})
+	resp, err := t.call(shard, &wireRequest{
+		Op: 'P', Keys: req.Keys,
+		TraceID: req.Trace.Trace, ParentID: req.Trace.Parent,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +196,10 @@ func (t *TCPTransport) Pull(shard int, req *PullRequest) (*PullResponse, error) 
 
 // Push implements Transport.
 func (t *TCPTransport) Push(shard int, req *PushRequest) error {
-	_, err := t.call(shard, &wireRequest{Op: 'U', Keys: req.Keys, Vals: req.Vals})
+	_, err := t.call(shard, &wireRequest{
+		Op: 'U', Keys: req.Keys, Vals: req.Vals,
+		TraceID: req.Trace.Trace, ParentID: req.Trace.Parent,
+	})
 	return err
 }
 

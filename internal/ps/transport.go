@@ -1,10 +1,17 @@
 package ps
 
-import "fmt"
+import (
+	"fmt"
 
-// PullRequest asks a shard for the rows of Keys.
+	"hetkg/internal/span"
+)
+
+// PullRequest asks a shard for the rows of Keys. Trace carries the sampled
+// batch's span context (zero when the batch is unsampled or tracing is off)
+// so shard-side spans stitch to the originating batch.
 type PullRequest struct {
-	Keys []Key
+	Keys  []Key
+	Trace span.Context
 }
 
 // PullResponse carries the requested rows concatenated in key order.
@@ -12,10 +19,12 @@ type PullResponse struct {
 	Vals []float32
 }
 
-// PushRequest carries gradients for Keys, concatenated in key order.
+// PushRequest carries gradients for Keys, concatenated in key order. Trace
+// is the originating batch's span context, as in PullRequest.
 type PushRequest struct {
-	Keys []Key
-	Vals []float32
+	Keys  []Key
+	Vals  []float32
+	Trace span.Context
 }
 
 // Transport moves requests between a worker and the server shards. The two
@@ -61,7 +70,7 @@ func (t *InProc) Pull(shard int, req *PullRequest) (*PullResponse, error) {
 	if shard < 0 || shard >= len(t.servers) {
 		return nil, fmt.Errorf("ps: no shard %d", shard)
 	}
-	vals, err := t.servers[shard].Pull(req.Keys)
+	vals, err := t.servers[shard].PullTraced(req.Trace, req.Keys)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +82,7 @@ func (t *InProc) Push(shard int, req *PushRequest) error {
 	if shard < 0 || shard >= len(t.servers) {
 		return fmt.Errorf("ps: no shard %d", shard)
 	}
-	return t.servers[shard].Push(req.Keys, req.Vals)
+	return t.servers[shard].PushTraced(req.Trace, req.Keys, req.Vals)
 }
 
 // Close implements Transport.

@@ -1,0 +1,41 @@
+package span
+
+// Canonical span names. Every constant in this file must be documented in
+// DESIGN.md §8's span table — scripts/check.sh enforces the coverage, the
+// same way metric names are pinned to EXPERIMENTS.md.
+const (
+	// NBatch is the root span of one sampled worker batch (one training
+	// iteration end to end: prefetch/refresh, sampling, gather, compute,
+	// push).
+	NBatch = "batch"
+	// NNegSample covers drawing the batch's positives and negatives (or
+	// popping a prefetched batch).
+	NNegSample = "sample.negatives"
+	// NCacheLookup covers the gather pass over the hot-embedding table
+	// that classifies each key as cache-served or missing.
+	NCacheLookup = "cache.lookup"
+	// NCacheRefresh covers a hot-table Build/Refresh: the bulk pull that
+	// (re)installs cached values (Algorithms 1–3).
+	NCacheRefresh = "cache.refresh"
+	// NGradCompute covers the sharded forward/backward pass and the
+	// ordered gradient merge.
+	NGradCompute = "grad.compute"
+	// NPSPull is one client-side pull RPC to one shard.
+	NPSPull = "ps.pull"
+	// NPSPush is one client-side push RPC to one shard.
+	NPSPush = "ps.push"
+	// NSerialize covers gob-encoding and flushing a request on the TCP
+	// transport.
+	NSerialize = "transport.serialize"
+	// NWireTCP covers the real-socket round trip of a TCP request: from
+	// request flushed to response decoded (includes shard service time).
+	NWireTCP = "wire.tcp"
+	// NWireSim is the netsim cost model's simulated wire time for one
+	// message, recorded with Sim=true.
+	NWireSim = "wire.sim"
+	// NShardPull is the shard-side handling of a pull request.
+	NShardPull = "shard.pull"
+	// NShardApply is the shard-side handling of a push request: applying
+	// pushed gradients through the shard optimizer.
+	NShardApply = "shard.apply"
+)

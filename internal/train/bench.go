@@ -41,3 +41,17 @@ func (bb *BatchBench) Pairs() int { return bb.b.NumNegatives() }
 func (bb *BatchBench) ProcessBatch() (float64, error) {
 	return bb.w.processBatch(bb.b)
 }
+
+// ProcessBatchTraced is ProcessBatch under a live root span: every
+// iteration is sampled and traced end to end (lookup, compute, RPC and
+// shard spans). Benchmarking it against ProcessBatch on a Config without
+// Spans measures the tracer's enabled-path overhead; the disabled path is
+// plain ProcessBatch, whose tracer is nil.
+func (bb *BatchBench) ProcessBatchTraced() (float64, error) {
+	root := bb.w.tracer.Root(bb.w.iteration)
+	if root.Valid() {
+		bb.w.beginSpan(root)
+		defer bb.w.endSpan()
+	}
+	return bb.w.processBatch(bb.b)
+}

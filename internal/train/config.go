@@ -24,6 +24,7 @@ import (
 	"hetkg/internal/opt"
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
+	"hetkg/internal/span"
 	"hetkg/internal/vec"
 )
 
@@ -139,6 +140,13 @@ type Config struct {
 	// TimelineEvery is the iteration interval between timeline records
 	// (default metrics.DefaultTimelineEvery).
 	TimelineEvery int
+
+	// Spans, when non-nil, collects per-batch distributed spans: every
+	// worker, PS shard and the transport get a tracer from this collector,
+	// and every Spans.Every()-th batch per worker is traced end to end
+	// (sampling, cache lookup, gradient compute, PS RPCs, wire time, shard
+	// apply). nil disables tracing at zero cost (the tracers stay nil).
+	Spans *span.Collector
 }
 
 // CacheConfig is the hot-embedding table configuration (§IV-B).

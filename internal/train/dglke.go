@@ -7,6 +7,7 @@ import (
 	"hetkg/internal/metrics"
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
+	"hetkg/internal/span"
 )
 
 // TrainDGLKE runs the DGL-KE-style baseline (§III-B): METIS-partitioned
@@ -80,12 +81,7 @@ func runPSTraining(cfg *Config, env *psEnv, workers []*worker, system string,
 				if it >= w.smp.IterationsPerEpoch() {
 					continue
 				}
-				if perIteration != nil {
-					if err := perIteration(w); err != nil {
-						return nil, err
-					}
-				}
-				if _, err := w.processBatch(w.nextBatch()); err != nil {
+				if err := w.turn(perIteration); err != nil {
 					return nil, err
 				}
 			}
@@ -221,6 +217,11 @@ func setupPS(cfg *Config) (*psEnv, error) {
 			srv.Instrument(cfg.Metrics)
 		}
 	}
+	if cfg.Spans != nil {
+		for _, srv := range cluster.Servers {
+			srv.Trace(cfg.Spans.Tracer(srv.Machine(), span.WorkerShard))
+		}
+	}
 	var tr ps.Transport
 	if cfg.NewTransport != nil {
 		tr, err = cfg.NewTransport(cluster)
@@ -232,6 +233,13 @@ func setupPS(cfg *Config) (*psEnv, error) {
 	}
 	if cfg.Quantize8Bit {
 		tr = ps.NewQuantized(tr, cluster)
+	}
+	if cfg.Spans != nil {
+		// A transport serving real sockets (or a wrapper over one) records
+		// serialization/wire spans on a dedicated shared row.
+		if tt, ok := tr.(interface{ Trace(*span.Tracer) }); ok {
+			tt.Trace(cfg.Spans.Tracer(span.MachineTransport, span.WorkerTransport))
+		}
 	}
 	return &psEnv{cluster: cluster, part: part, tr: tr}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
 	"hetkg/internal/sampler"
+	"hetkg/internal/span"
 	"hetkg/internal/vec"
 )
 
@@ -45,6 +46,8 @@ type worker struct {
 	rows   map[ps.Key][]float32 // per-batch working set (pulled + cached)
 	scr    *batchScratch        // worker-owned arena, reused across batches
 	obs    *trainObs            // run-shared registry handles (nil when unwired)
+	tracer *span.Tracer         // per-batch span tracer (nil when unwired)
+	sp     span.Active          // current batch's root span (zero when unsampled)
 
 	// queued holds prefetched batches to replay (HET-KG).
 	queued []*sampler.Batch
@@ -125,6 +128,10 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 				rows:    make(map[ps.Key][]float32),
 				obs:     tobs,
 			}
+			if cfg.Spans != nil {
+				w.tracer = cfg.Spans.Tracer(m, id)
+				client.Trace(w.tracer)
+			}
 			if withCache {
 				hot, err := cache.New(client, cfg.NewOptimizer(), cfg.Cache.SyncEvery)
 				if err != nil {
@@ -132,6 +139,9 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 				}
 				if cfg.Metrics != nil {
 					hot.Instrument(cfg.Metrics)
+				}
+				if w.tracer != nil {
+					hot.Trace(w.tracer)
 				}
 				w.hot = hot
 			}
@@ -156,6 +166,52 @@ func (w *worker) nextBatch() *sampler.Batch {
 		return b
 	}
 	return w.smp.Next()
+}
+
+// turn runs one scheduled worker turn: the trainer's per-iteration hook
+// (prefetch/rebuild/sync for HET-KG), drawing the next batch, and
+// processBatch — all under one root "batch" span when this iteration is on
+// the tracer's sampling grid. The root's context is installed on the PS
+// client and the hot cache for the duration of the turn so their spans (RPCs,
+// refreshes, simulated wire time) stitch to this batch; an unsampled turn
+// threads zero values through the same calls at nil-check cost.
+func (w *worker) turn(perIteration func(*worker) error) error {
+	root := w.tracer.Root(w.iteration)
+	if root.Valid() {
+		w.beginSpan(root)
+		defer w.endSpan()
+	}
+	if perIteration != nil {
+		if err := perIteration(w); err != nil {
+			return err
+		}
+	}
+	smp := root.Start(span.NNegSample)
+	b := w.nextBatch()
+	smp.EndAttrs(span.Attrs{Rows: int64(len(b.Pos)), Shard: span.NoShard})
+	_, err := w.processBatch(b)
+	return err
+}
+
+// beginSpan installs root as the worker's current batch span and points the
+// client and cache at it.
+func (w *worker) beginSpan(root span.Active) {
+	w.sp = root
+	sc := root.Context()
+	w.client.SetSpanContext(sc)
+	if w.hot != nil {
+		w.hot.SetSpanContext(sc)
+	}
+}
+
+// endSpan closes the current batch span and detaches the client and cache.
+func (w *worker) endSpan() {
+	w.sp.End()
+	w.sp = span.Active{}
+	w.client.SetSpanContext(span.Context{})
+	if w.hot != nil {
+		w.hot.SetSpanContext(span.Context{})
+	}
 }
 
 // gradBuf is a reusable keyed gradient accumulator: a map from embedding key
@@ -243,6 +299,7 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 	// rest. Serial: the hot cache is confined to the worker goroutine.
 	ents, rels := b.DistinctIDs()
 	clear(w.rows)
+	lookup := w.sp.Start(span.NCacheLookup)
 	missing := scr.missing[:0]
 	gather := func(k ps.Key) {
 		if w.hot != nil {
@@ -260,6 +317,7 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 		gather(ps.RelationKey(r))
 	}
 	scr.missing = missing // keep the grown backing array for reuse
+	lookup.EndAttrs(span.Attrs{Rows: int64(len(ents) + len(rels)), Shard: span.NoShard})
 	if len(missing) > 0 {
 		if err := w.client.Pull(missing, w.rows); err != nil {
 			return 0, err
@@ -274,6 +332,7 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 	}
 
 	// Step 3: forward + backward, sharded across cores.
+	compute := w.sp.Start(span.NGradCompute)
 	start := time.Now()
 	shards := par.Shards(len(b.Pos), batchShards)
 	for len(scr.shards) < len(shards) {
@@ -304,6 +363,7 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 		pairs += sc.pairs
 	}
 	elapsed := time.Since(start)
+	compute.EndAttrs(span.Attrs{Rows: int64(pairs), Shard: span.NoShard})
 	w.compTime += elapsed
 	if o := w.obs; o != nil {
 		o.comp.Observe(elapsed)

@@ -44,6 +44,22 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
+echo "== DESIGN.md span coverage lint"
+# Every canonical span name in internal/span/names.go must appear in
+# DESIGN.md §8's span table, so no span is emitted without a documented
+# meaning — the tracing counterpart of the metric lint above.
+missing=0
+for name in $(sed -n 's/.*= "\([a-z0-9_.]*\)"$/\1/p' internal/span/names.go); do
+    if ! grep -qF "$name" DESIGN.md; then
+        echo "DESIGN.md does not document span \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (undocumented span names)"
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
