@@ -15,10 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hetkg"
 )
@@ -38,6 +42,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
 		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
 		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight connections on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -80,5 +85,26 @@ func main() {
 	}
 	fmt.Printf("hetkg-ps: shard %d/%d serving %d rows on %s (dataset=%s scale=%s seed=%d)\n",
 		*machine, *machines, shard.NumRows(), l.Addr(), *ds, *scale, *seed)
-	hetkg.ServeShard(l, shard)
+
+	// Serve until SIGINT/SIGTERM, then drain: close the listener (stops
+	// accepting), wait up to -grace for trainer connections to finish,
+	// force-close stragglers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var acc hetkg.ShardAcceptor
+	served := make(chan struct{})
+	go func() {
+		acc.Serve(l, shard)
+		close(served)
+	}()
+	select {
+	case <-served: // listener failed underneath us
+		fmt.Fprintln(os.Stderr, "hetkg-ps: listener closed")
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("hetkg-ps: shutting down, draining connections")
+	l.Close()
+	acc.Shutdown(*grace)
 }

@@ -1,0 +1,131 @@
+// hetkg-serve answers knowledge-graph queries over HTTP from a trained
+// checkpoint: triple scoring, top-k link prediction, and embedding-space
+// nearest neighbors, fronted by a hotness-aware embedding cache and a
+// request batcher that coalesces concurrent predictions into shared
+// candidate sweeps (DESIGN.md §9).
+//
+//	hetkg-train -dataset fb15k -scale tiny -save model.ckpt
+//	hetkg-serve -ckpt model.ckpt -listen 127.0.0.1:8080
+//	curl 'http://127.0.0.1:8080/v1/predict?entity=12&relation=3&k=5'
+//
+// The endpoints are unauthenticated, so non-loopback -listen addresses are
+// refused unless -allow-remote is set. /metrics, /healthz, and /debug/pprof/
+// are mounted on the same listener. SIGINT/SIGTERM trigger a graceful
+// shutdown: the listener closes, in-flight requests drain (bounded by
+// -grace), and the span dump (if -span is set) is written on exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetkg"
+	"hetkg/internal/span"
+)
+
+func main() {
+	var (
+		ckptPath    = flag.String("ckpt", "", "checkpoint to serve (from hetkg-train -save; required)")
+		listen      = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		allowRemote = flag.Bool("allow-remote", false, "allow -listen to bind non-loopback addresses (exposes unauthenticated query + pprof endpoints)")
+		cacheRows   = flag.Int("cache", 0, "hot-tier row budget (0 = 5% of all rows)")
+		entFrac     = flag.Float64("entity-fraction", 0, "entity share of the cache budget (0 = the paper's 0.25)")
+		rebuild     = flag.Int("rebuild-every", 0, "cache accesses between promotion passes (0 = default, negative = never)")
+		maxBatch    = flag.Int("max-batch", 0, "max predictions coalesced per candidate sweep (0 = default)")
+		maxK        = flag.Int("max-k", 0, "max k per request (0 = default)")
+		knnMetric   = flag.String("knn-metric", "cosine", "neighbor similarity: cosine | dot | l2")
+		parallel    = flag.Int("parallelism", 0, "sweep worker count (0 = GOMAXPROCS)")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
+		spanOut     = flag.String("span", "", "write sampled request spans to this file on shutdown (hetkg-trace spans)")
+		spanEvery   = flag.Int("span-every", 0, "request sampling interval for -span (default every 16th)")
+		spanFormat  = flag.String("span-format", "", "span dump format: jsonl (default) | chrome")
+	)
+	flag.Parse()
+	if *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "hetkg-serve: -ckpt is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ck, err := hetkg.ReadCheckpoint(*ckptPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkpoint:", err)
+		os.Exit(1)
+	}
+	metric, err := hetkg.ParseKNNMetric(*knnMetric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var col *span.Collector
+	cfg := hetkg.QueryServerConfig{
+		Checkpoint:     ck,
+		CacheBudget:    *cacheRows,
+		EntityFraction: *entFrac,
+		RebuildEvery:   *rebuild,
+		MaxBatch:       *maxBatch,
+		MaxK:           *maxK,
+		Parallelism:    *parallel,
+		KNNMetric:      metric,
+	}
+	if *spanOut != "" {
+		col = span.NewCollector(span.CollectorConfig{Every: *spanEvery})
+		cfg.Tracer = col.Tracer(0, 0)
+	}
+	srv, err := hetkg.NewQueryServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	l, err := srv.Listen(*listen, *allowRemote)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	eb, rb := srv.Cache().Budgets()
+	fmt.Printf("hetkg-serve: %s (%s, dim %d, %d entities, %d relations) on http://%s\n",
+		*ckptPath, ck.ModelName, ck.Dim, ck.Entities.Rows, ck.Relations.Rows, l.Addr())
+	fmt.Printf("hetkg-serve: hot tier %d+%d rows (entities+relations), endpoints /v1/{score,predict,neighbors} + /metrics\n", eb, rb)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(l) }()
+
+	select {
+	case err := <-done:
+		// Serve only returns on listener failure; shutdown arrives via ctx.
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("hetkg-serve: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		httpSrv.Close() // grace expired: force-close lingering connections
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+	}
+	srv.Close()
+	if *spanOut != "" {
+		hdr := span.Header{System: "hetkg-serve", Dataset: ck.Dataset, Every: col.Every(), Seed: ck.Seed}
+		if err := span.WriteFile(*spanOut, *spanFormat, hdr, col.Drain()); err != nil {
+			fmt.Fprintln(os.Stderr, "span:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hetkg-serve: spans written to %s\n", *spanOut)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"hetkg/internal/netsim"
 	"hetkg/internal/obs"
 	"hetkg/internal/ps"
+	"hetkg/internal/serve"
 	"hetkg/internal/span"
 	"hetkg/internal/train"
 	"hetkg/internal/vec"
@@ -254,3 +255,31 @@ const (
 
 // NewKNN builds an exact similarity index over an embedding matrix.
 func NewKNN(m *Matrix, metric knn.Metric) (*KNNIndex, error) { return knn.New(m, metric) }
+
+// ParseKNNMetric parses a similarity metric name: "cosine", "dot", or "l2".
+func ParseKNNMetric(s string) (knn.Metric, error) { return knn.ParseMetric(s) }
+
+// KNNScratch is reusable state for allocation-free KNN searches
+// (KNNIndex.SearchInto / NeighborsInto).
+type KNNScratch = knn.Scratch
+
+// ShardAcceptor serves a PS shard with graceful shutdown: close the
+// listener to stop accepting, then Shutdown(grace) to drain in-flight
+// connections before force-closing stragglers.
+type ShardAcceptor = ps.Acceptor
+
+// QueryServer is the online inference server: it answers triple-scoring,
+// link-prediction, and embedding-similarity queries over a trained
+// checkpoint, fronted by a hotness-aware embedding cache. See DESIGN.md §9.
+type QueryServer = serve.Server
+
+// QueryServerConfig parameterizes NewQueryServer.
+type QueryServerConfig = serve.Config
+
+// NewQueryServer builds a query server over a loaded checkpoint.
+func NewQueryServer(cfg QueryServerConfig) (*QueryServer, error) { return serve.New(cfg) }
+
+// ServingHotTier is the serving-side hotness-aware embedding cache: decayed
+// frequency counters, a fixed row budget split by the paper's entity /
+// relation quota, and periodic promotion of the hottest rows.
+type ServingHotTier = serve.HotTier

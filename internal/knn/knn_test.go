@@ -159,3 +159,105 @@ func TestTopKMatchesFullSort(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSearchIntoMatchesSearch pins the scratch path to the allocating path:
+// identical results on random tables at several k.
+func TestSearchIntoMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := vec.NewMatrix(200, 16)
+	m.InitUniform(rng, 1)
+	for _, metric := range []Metric{Cosine, Dot, L2} {
+		ix, err := New(m, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch Scratch
+		dst := make([]Result, 0, 32)
+		for _, k := range []int{1, 5, 32} {
+			q := m.Row(rng.Intn(m.Rows))
+			want, err := ix.Search(q, k, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.SearchInto(dst, q, k, -1, &scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v k=%d: got %d results, want %d", metric, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%v k=%d result %d: got %+v, want %+v", metric, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSearchIntoZeroAlloc pins the serve hot loop's requirement: after the
+// scratch warms up, a search performs no allocation.
+func TestSearchIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := vec.NewMatrix(500, 32)
+	m.InitUniform(rng, 1)
+	ix, err := New(m, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch Scratch
+	dst := make([]Result, 0, 10)
+	q := m.Row(3)
+	// Warm up the scratch heap once.
+	if _, err := ix.SearchInto(dst, q, 10, 3, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ix.SearchInto(dst, q, 10, 3, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchInto allocates %.1f objects per search, want 0", allocs)
+	}
+}
+
+func benchIndex(b *testing.B, rows, dim int) *Index {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m := vec.NewMatrix(rows, dim)
+	m.InitUniform(rng, 1)
+	ix, err := New(m, Cosine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix := benchIndex(b, 10000, 64)
+	q := ix.m.Row(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(q, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchInto(b *testing.B) {
+	ix := benchIndex(b, 10000, 64)
+	q := ix.m.Row(0)
+	var scratch Scratch
+	dst := make([]Result, 0, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = ix.SearchInto(dst, q, 10, 0, &scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -78,4 +78,31 @@ const (
 	// cache.policy.<name>.{hits,misses,evictions} registered by
 	// cache.ReplayObserved for the Table VI policy study.
 	MCachePolicyPrefix = "cache.policy."
+
+	// MServeRequests counts query-server API requests across all endpoints.
+	MServeRequests = "serve.requests"
+	// MServeErrors counts API requests rejected with an error status.
+	MServeErrors = "serve.errors"
+	// MServeLatencyScore is the /v1/score service-time histogram (ns).
+	MServeLatencyScore = "serve.latency.score_ns"
+	// MServeLatencyPredict is the /v1/predict service-time histogram (ns).
+	MServeLatencyPredict = "serve.latency.predict_ns"
+	// MServeLatencyNeighbors is the /v1/neighbors service-time histogram (ns).
+	MServeLatencyNeighbors = "serve.latency.neighbors_ns"
+	// MServeCacheHits counts query rows served from the hot tier.
+	MServeCacheHits = "serve.cache.hits"
+	// MServeCacheMisses counts query rows served from the cold table.
+	MServeCacheMisses = "serve.cache.misses"
+	// MServeCacheHitRatio is hits/(hits+misses), refreshed at each hot-set
+	// rebuild.
+	MServeCacheHitRatio = "serve.cache.hit_ratio"
+	// MServeCachePromotedRows counts rows copied into the hot tier by
+	// rebuilds.
+	MServeCachePromotedRows = "serve.cache.promoted_rows"
+	// MServeCacheRebuilds counts hot-set rebuilds (promotion passes).
+	MServeCacheRebuilds = "serve.cache.rebuilds"
+	// MServeBatches counts candidate sweeps run by the prediction batcher.
+	MServeBatches = "serve.batches"
+	// MServeBatchSize is the histogram of predictions coalesced per sweep.
+	MServeBatchSize = "serve.batch_size"
 )

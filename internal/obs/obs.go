@@ -64,7 +64,7 @@ func Serve(addr string, reg *metrics.Registry, opts ...Option) (*Server, error) 
 		addr = "127.0.0.1:0"
 	}
 	if !so.allowRemote {
-		if err := checkLoopback(addr); err != nil {
+		if err := CheckLoopback(addr); err != nil {
 			return nil, err
 		}
 	}
@@ -72,6 +72,27 @@ func Serve(addr string, reg *metrics.Registry, opts ...Option) (*Server, error) 
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
+	mux := Handler(reg)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:      mux,
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 0, // pprof profile/trace streams run long
+		},
+		addr: ln.Addr().String(),
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Handler returns the introspection routes as a mux that can be mounted
+// into another process's HTTP server (hetkg-serve shares its query mux):
+// /metrics (registry snapshot as JSON), /healthz, and the net/http/pprof
+// profiles under /debug/pprof/. The routes are unauthenticated; whoever
+// mounts them owns the loopback guard (CheckLoopback).
+func Handler(reg *metrics.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -88,30 +109,21 @@ func Serve(addr string, reg *metrics.Registry, opts ...Option) (*Server, error) 
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{
-		ln: ln,
-		srv: &http.Server{
-			Handler:      mux,
-			ReadTimeout:  30 * time.Second,
-			WriteTimeout: 0, // pprof profile/trace streams run long
-		},
-		addr: ln.Addr().String(),
-	}
-	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
-	return s, nil
+	return mux
 }
 
-// checkLoopback rejects listen addresses that would expose the endpoint
-// beyond the local host: an empty host (all interfaces) or a host that is
-// neither "localhost" nor a loopback IP.
-func checkLoopback(addr string) error {
+// CheckLoopback rejects listen addresses that would expose an
+// unauthenticated endpoint beyond the local host: an empty host (all
+// interfaces) or a host that is neither "localhost" nor a loopback IP. It
+// is shared by the obs endpoint and the hetkg-serve query listener, whose
+// opt-outs are AllowRemote and -allow-remote respectively.
+func CheckLoopback(addr string) error {
 	host, _, err := net.SplitHostPort(addr)
 	if err != nil {
 		return fmt.Errorf("obs: invalid address %q: %w", addr, err)
 	}
 	if host == "" {
-		return fmt.Errorf("obs: refusing to serve unauthenticated pprof on all interfaces (%q); bind a loopback address or opt in with AllowRemote", addr)
+		return fmt.Errorf("obs: refusing to serve an unauthenticated endpoint on all interfaces (%q); bind a loopback address or explicitly allow remote access", addr)
 	}
 	if host == "localhost" {
 		return nil
@@ -119,7 +131,7 @@ func checkLoopback(addr string) error {
 	if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
 		return nil
 	}
-	return fmt.Errorf("obs: refusing non-loopback address %q for the unauthenticated endpoint; bind 127.0.0.1/[::1]/localhost or opt in with AllowRemote", addr)
+	return fmt.Errorf("obs: refusing non-loopback address %q for an unauthenticated endpoint; bind 127.0.0.1/[::1]/localhost or explicitly allow remote access", addr)
 }
 
 // Addr returns the address the endpoint is listening on.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"hetkg/internal/metrics"
 	"hetkg/internal/span"
@@ -38,14 +39,86 @@ type wireResponse struct {
 
 // ServeTCP runs a shard's accept loop until the listener closes. Each
 // connection is handled on its own goroutine; requests on one connection
-// are processed in order.
+// are processed in order. Processes that need to drain connections on
+// shutdown should use an Acceptor instead.
 func ServeTCP(l net.Listener, srv *Server) {
+	var a Acceptor
+	a.Serve(l, srv)
+}
+
+// Acceptor is a shard accept loop with graceful shutdown: it tracks live
+// connections so Shutdown can wait for in-flight requests to drain before
+// force-closing stragglers. The zero Acceptor is ready to use.
+type Acceptor struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Serve runs the accept loop until the listener closes (close the listener
+// to stop accepting; then call Shutdown to drain).
+func (a *Acceptor) Serve(l net.Listener, srv *Server) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		go serveConn(conn, srv)
+		if !a.track(conn) {
+			conn.Close() // Shutdown already started
+			return
+		}
+		go func() {
+			defer a.untrack(conn)
+			serveConn(conn, srv)
+		}()
+	}
+}
+
+func (a *Acceptor) track(conn net.Conn) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
+	if a.conns == nil {
+		a.conns = make(map[net.Conn]struct{})
+	}
+	a.conns[conn] = struct{}{}
+	a.wg.Add(1)
+	return true
+}
+
+func (a *Acceptor) untrack(conn net.Conn) {
+	a.mu.Lock()
+	delete(a.conns, conn)
+	a.mu.Unlock()
+	a.wg.Done()
+}
+
+// Shutdown waits up to grace for live connections to finish (trainer
+// connections are persistent, so "finish" normally means the peer closed),
+// then force-closes whatever remains and waits for their handlers to
+// return. Call after closing the listener; new connections racing the
+// shutdown are refused.
+func (a *Acceptor) Shutdown(grace time.Duration) {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		a.mu.Lock()
+		for c := range a.conns {
+			c.Close()
+		}
+		a.mu.Unlock()
+		<-done
 	}
 }
 

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"sync"
+
+	"hetkg/internal/kg"
+	"hetkg/internal/knn"
+	"hetkg/internal/metrics"
+	"hetkg/internal/model"
+	"hetkg/internal/par"
+	"hetkg/internal/span"
+	"hetkg/internal/vec"
+)
+
+// DefaultMaxBatch is the default cap on predictions coalesced into one
+// candidate sweep.
+const DefaultMaxBatch = 64
+
+// DefaultMaxK is the default cap on a prediction's k.
+const DefaultMaxK = 128
+
+// job is one in-flight prediction. Jobs are pooled: done is a reusable
+// buffered channel and out a reusable result buffer, so a request borrows
+// and returns a job without allocating.
+type job struct {
+	anchorRow []float32 // the known entity's embedding (head or tail)
+	relRow    []float32
+	tailMode  bool // true: rank tails score(anchor, r, c); false: rank heads score(c, r, anchor)
+	k         int
+	sc        span.Context
+	out       []knn.Result
+	done      chan struct{}
+}
+
+// batcher coalesces concurrent predictions into shared candidate sweeps —
+// the group-commit pattern: while one sweep scans the entity table, newly
+// arriving jobs queue, and the next sweep takes them all. Scoring j jobs
+// against a candidate row while it is resident in cache amortizes the scan
+// that dominates prediction cost, so batching raises throughput without a
+// coalescing timer (an idle server runs a lone request immediately).
+//
+// The sweep fans out over persistent shard workers (fixed contiguous ranges
+// from par.Shards; long-lived goroutines signaled by channel, so a sweep
+// allocates nothing). Results are deterministic at any parallelism: each
+// candidate's score is computed independently, and the total order of TopK
+// (score desc, id asc) makes the merged top-k independent of sharding.
+type batcher struct {
+	model    model.Model
+	ents     *vec.Matrix
+	maxBatch int
+	maxK     int
+	jobs     chan *job
+	pool     sync.Pool
+	workers  []*sweepWorker
+	cur      []*job // batch under sweep; written by dispatcher, read by workers (synchronized by start/done channels)
+	final    []*TopK
+	spans    []span.Active
+	tracer   *span.Tracer
+	obs      *batchObs
+	quit     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// batchObs holds the batcher's registry-backed series.
+type batchObs struct {
+	batches *metrics.Counter
+	size    *metrics.Histogram
+}
+
+// sweepWorker owns one fixed shard of the candidate space and a private
+// top-k selector per batch slot.
+type sweepWorker struct {
+	rng   par.Range
+	topks []*TopK
+	start chan struct{}
+	done  chan struct{}
+}
+
+// newBatcher starts the dispatcher and the shard workers. degree ≤ 1 runs
+// sweeps inline on the dispatcher goroutine.
+func newBatcher(m model.Model, ents *vec.Matrix, maxBatch, maxK, degree int) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if maxK <= 0 {
+		maxK = DefaultMaxK
+	}
+	if degree > ents.Rows {
+		degree = ents.Rows
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	b := &batcher{
+		model:    m,
+		ents:     ents,
+		maxBatch: maxBatch,
+		maxK:     maxK,
+		jobs:     make(chan *job, maxBatch),
+		final:    make([]*TopK, maxBatch),
+		spans:    make([]span.Active, 0, maxBatch),
+		quit:     make(chan struct{}),
+	}
+	b.pool.New = func() any {
+		return &job{
+			out:  make([]knn.Result, 0, maxK),
+			done: make(chan struct{}, 1),
+		}
+	}
+	for i := range b.final {
+		b.final[i] = NewTopK(maxK)
+	}
+	shards := par.Shards(ents.Rows, degree)
+	b.workers = make([]*sweepWorker, len(shards))
+	for w, rng := range shards {
+		sw := &sweepWorker{
+			rng:   rng,
+			topks: make([]*TopK, maxBatch),
+			start: make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		for i := range sw.topks {
+			sw.topks[i] = NewTopK(maxK)
+		}
+		b.workers[w] = sw
+	}
+	if len(b.workers) > 1 {
+		for _, sw := range b.workers[1:] {
+			b.wg.Add(1)
+			go b.workerLoop(sw)
+		}
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// instrument publishes serve.batches and serve.batch_size into reg.
+func (b *batcher) instrument(reg *metrics.Registry) {
+	b.obs = &batchObs{
+		batches: reg.Counter(metrics.MServeBatches),
+		size:    reg.Histogram(metrics.MServeBatchSize),
+	}
+}
+
+// trace attaches the server's tracer for serve.sweep spans.
+func (b *batcher) trace(t *span.Tracer) { b.tracer = t }
+
+// get borrows a pooled job.
+func (b *batcher) get() *job { return b.pool.Get().(*job) }
+
+// put returns a job to the pool.
+func (b *batcher) put(j *job) {
+	j.anchorRow, j.relRow, j.sc = nil, nil, span.Context{}
+	j.out = j.out[:0]
+	b.pool.Put(j)
+}
+
+// submit enqueues a job; the caller waits on j.done.
+func (b *batcher) submit(j *job) { b.jobs <- j }
+
+// close stops the dispatcher and workers. Outstanding jobs are not waited
+// for; callers stop submitting first.
+func (b *batcher) close() {
+	close(b.quit)
+	b.wg.Wait()
+}
+
+func (b *batcher) dispatch() {
+	defer b.wg.Done()
+	batch := make([]*job, 0, b.maxBatch)
+	for {
+		select {
+		case <-b.quit:
+			return
+		case j := <-b.jobs:
+			batch = append(batch[:0], j)
+		drain: // opportunistic coalescing: take whatever queued during the last sweep
+			for len(batch) < b.maxBatch {
+				select {
+				case j2 := <-b.jobs:
+					batch = append(batch, j2)
+				default:
+					break drain
+				}
+			}
+			b.sweep(batch)
+			for _, j := range batch {
+				j.done <- struct{}{}
+			}
+		}
+	}
+}
+
+// workerLoop runs one persistent shard worker.
+func (b *batcher) workerLoop(sw *sweepWorker) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.quit:
+			return
+		case <-sw.start:
+			sw.scan(b.model, b.ents, b.cur)
+			sw.done <- struct{}{}
+		}
+	}
+}
+
+// scan scores the worker's candidate range against every job in the batch.
+func (sw *sweepWorker) scan(m model.Model, ents *vec.Matrix, batch []*job) {
+	for i, j := range batch {
+		sw.topks[i].Reset(j.k)
+	}
+	for c := sw.rng.Begin; c < sw.rng.End; c++ {
+		row := ents.Row(c)
+		for i, j := range batch {
+			var s float32
+			if j.tailMode {
+				s = m.Score(j.anchorRow, j.relRow, row)
+			} else {
+				s = m.Score(row, j.relRow, j.anchorRow)
+			}
+			sw.topks[i].Offer(kg.EntityID(c), s)
+		}
+	}
+}
+
+// sweep runs one batched candidate sweep and writes each job's sorted
+// results into its out buffer.
+func (b *batcher) sweep(batch []*job) {
+	if o := b.obs; o != nil {
+		o.batches.Inc()
+		o.size.ObserveInt(int64(len(batch)))
+	}
+	b.spans = b.spans[:0]
+	for _, j := range batch {
+		if sp := b.tracer.StartChild(j.sc, span.NServeSweep); sp.Valid() {
+			b.spans = append(b.spans, sp)
+		}
+	}
+
+	b.cur = batch
+	if len(b.workers) > 1 {
+		for _, sw := range b.workers[1:] {
+			sw.start <- struct{}{}
+		}
+		b.workers[0].scan(b.model, b.ents, batch)
+		for _, sw := range b.workers[1:] {
+			<-sw.done
+		}
+	} else {
+		b.workers[0].scan(b.model, b.ents, batch)
+	}
+
+	// Merge the per-shard partials in shard order; the TopK total order
+	// makes the outcome independent of the sharding.
+	for i, j := range batch {
+		f := b.final[i]
+		f.Reset(j.k)
+		for _, sw := range b.workers {
+			for _, r := range sw.topks[i].Items() {
+				f.Offer(r.ID, r.Score)
+			}
+		}
+		j.out = f.Sorted(j.out)
+	}
+
+	for _, sp := range b.spans {
+		sp.EndAttrs(span.Attrs{Rows: int64(b.ents.Rows), Shard: span.NoShard})
+	}
+}

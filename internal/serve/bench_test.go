@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetkg/internal/ckpt"
+	"hetkg/internal/knn"
+	"hetkg/internal/vec"
+)
+
+// benchCheckpoint builds a synthetic checkpoint large enough that the sweep
+// dominates (no training needed to benchmark the read path).
+func benchCheckpoint(ents, dim int) *ckpt.Checkpoint {
+	rng := rand.New(rand.NewSource(1))
+	e := vec.NewMatrix(ents, dim)
+	r := vec.NewMatrix(8, dim)
+	e.InitKGE(rng)
+	r.InitKGE(rng)
+	return &ckpt.Checkpoint{
+		ModelName: "transe",
+		Dim:       dim,
+		Dataset:   "synthetic",
+		Entities:  e,
+		Relations: r,
+	}
+}
+
+// benchServer configures the hot path the way the allocation criterion is
+// stated: rebuilds amortized out (manual), tracing off.
+func benchServer(tb testing.TB, ents, dim, degree int) *Server {
+	tb.Helper()
+	s, err := New(Config{
+		Checkpoint:   benchCheckpoint(ents, dim),
+		RebuildEvery: -1,
+		Parallelism:  degree,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+	return s
+}
+
+// TestPredictZeroAlloc pins the acceptance criterion: after warmup, a
+// prediction allocates nothing — pooled jobs, persistent sweep workers,
+// reusable top-k heaps, and a caller-owned destination slice cover the
+// whole path.
+func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	s := benchServer(t, 2000, 16, 4)
+	dst := make([]knn.Result, 0, 10)
+	var err error
+	for i := 0; i < 10; i++ { // warm pools and lazily-grown buffers
+		if dst, err = s.PredictInto(dst, i, 0, true, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := 0
+	avg := testing.AllocsPerRun(100, func() {
+		dst, _ = s.PredictInto(dst, e, 0, true, 10)
+		e = (e + 1) % 100
+	})
+	if avg != 0 {
+		t.Errorf("PredictInto allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+// TestScoreZeroAlloc pins the same property for the scoring path.
+func TestScoreZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	s := benchServer(t, 100, 16, 1)
+	if _, err := s.ScoreTriple(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		s.ScoreTriple(1, 0, 2)
+	})
+	if avg != 0 {
+		t.Errorf("ScoreTriple allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+// TestNeighborsZeroAlloc pins it for the similarity path.
+func TestNeighborsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	s := benchServer(t, 2000, 16, 1)
+	dst := make([]knn.Result, 0, 10)
+	var err error
+	if dst, err = s.NeighborsInto(dst, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		dst, _ = s.NeighborsInto(dst, 5, 10)
+	})
+	if avg != 0 {
+		t.Errorf("NeighborsInto allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+// BenchmarkPredict measures the single-caller prediction sweep
+// (ReportAllocs documents the zero-allocation hot path).
+func BenchmarkPredict(b *testing.B) {
+	s := benchServer(b, 50000, 64, 0)
+	dst := make([]knn.Result, 0, 10)
+	var err error
+	if dst, err = s.PredictInto(dst, 0, 0, true, 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = s.PredictInto(dst, i%1000, 0, true, 10)
+	}
+}
+
+// BenchmarkPredictConcurrent measures coalesced throughput: parallel
+// callers share candidate sweeps through the batcher.
+func BenchmarkPredictConcurrent(b *testing.B) {
+	s := benchServer(b, 50000, 64, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]knn.Result, 0, 10)
+		i := 0
+		for pb.Next() {
+			dst, _ = s.PredictInto(dst, i%1000, 0, true, 10)
+			i++
+		}
+	})
+	b.StopTimer()
+	reqs := s.reg.Counter("serve.requests").Value()
+	batches := s.reg.Counter("serve.batches").Value()
+	if batches > 0 {
+		b.ReportMetric(float64(reqs)/float64(batches), "reqs/sweep")
+	}
+}
+
+// BenchmarkScoreTriple measures the cached scoring path.
+func BenchmarkScoreTriple(b *testing.B) {
+	s := benchServer(b, 50000, 64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreTriple(i%1000, 0, (i+1)%1000)
+	}
+}
+
+// BenchmarkHotTier reports the hit ratio a 5% budget achieves under the two
+// workload shapes — the serving-side restatement of the paper's Fig. 7
+// motivation: skew is what makes a small hot tier worth having.
+func BenchmarkHotTier(b *testing.B) {
+	const n, dim = 100000, 64
+	run := func(b *testing.B, next func() int) {
+		e, r := vec.NewMatrix(n, dim), vec.NewMatrix(4, dim)
+		h, err := NewHotTier(e, r, n/20, 0.9, DefaultRebuildEvery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2*DefaultRebuildEvery; i++ {
+			h.Entity(next())
+		}
+		h.ResetStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Entity(next())
+		}
+		b.ReportMetric(h.HitRatio(), "hit_ratio")
+	}
+	b.Run("zipf", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		z := rand.NewZipf(rng, 1.1, 1, n-1)
+		run(b, func() int { return int(z.Uint64()) })
+	})
+	b.Run("uniform", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		run(b, func() int { return rng.Intn(n) })
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips the allocation-count assertions under the race
+// detector, which intentionally drops sync.Pool items to surface races.
+const raceEnabled = true

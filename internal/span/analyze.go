@@ -5,17 +5,24 @@ import (
 	"time"
 )
 
+// IsRoot reports whether name is a root span name: a training batch or a
+// serving request. The analyzer attributes every other span to the root it
+// parents under.
+func IsRoot(name string) bool { return name == NBatch || name == NServeRequest }
+
 // Category buckets a span name for comm-vs-compute-vs-cache attribution —
-// the per-batch version of the paper's Fig. 7 time breakdown.
+// the per-batch version of the paper's Fig. 7 time breakdown. Serving spans
+// bucket the same way: candidate sweeps and knn searches are compute, the
+// hot-tier gather is cache.
 func Category(name string) string {
 	switch name {
-	case NNegSample, NGradCompute:
+	case NNegSample, NGradCompute, NServeSweep, NServeKNN:
 		return "compute"
-	case NCacheLookup, NCacheRefresh:
+	case NCacheLookup, NCacheRefresh, NServeLookup:
 		return "cache"
 	case NPSPull, NPSPush, NSerialize, NWireTCP, NWireSim, NShardPull, NShardApply:
 		return "comm"
-	case NBatch:
+	case NBatch, NServeRequest:
 		return "batch"
 	default:
 		return "other"
@@ -74,7 +81,7 @@ func Analyze(spans []Span, topK int) *Analysis {
 	children := make(map[uint64][]Span) // parent span ID → direct children
 	var nonRoots []Span
 	for _, s := range spans {
-		if s.Name == NBatch {
+		if IsRoot(s.Name) {
 			continue
 		}
 		nonRoots = append(nonRoots, s)
@@ -83,7 +90,7 @@ func Analyze(spans []Span, topK int) *Analysis {
 
 	perMachine := map[int]*MachineSummary{}
 	for _, s := range spans {
-		if s.Name != NBatch {
+		if !IsRoot(s.Name) {
 			continue
 		}
 		bp := BatchPath{Root: s, ByCategory: map[string]time.Duration{}}

@@ -38,4 +38,18 @@ const (
 	// NShardApply is the shard-side handling of a push request: applying
 	// pushed gradients through the shard optimizer.
 	NShardApply = "shard.apply"
+
+	// NServeRequest is the root span of one sampled serving request
+	// (hetkg-serve), the inference-time counterpart of NBatch.
+	NServeRequest = "serve.request"
+	// NServeLookup covers the hot-tier gather of the request's query rows
+	// (head/relation/tail embeddings served from the serving cache or the
+	// cold table).
+	NServeLookup = "serve.cache.lookup"
+	// NServeSweep covers one batched candidate sweep: scoring every
+	// coalesced prediction against the full entity table.
+	NServeSweep = "serve.sweep"
+	// NServeKNN covers the exact nearest-neighbor search behind
+	// /v1/neighbors.
+	NServeKNN = "serve.knn"
 )

@@ -207,6 +207,14 @@ func (t *Tracer) Sampled(iteration int) bool {
 // zero Active when the tracer is nil or the iteration is not sampled. The
 // zero Active makes every child operation a no-op.
 func (t *Tracer) Root(iteration int) Active {
+	return t.RootNamed(iteration, NBatch)
+}
+
+// RootNamed is Root with a caller-chosen root span name — the serving layer
+// uses it to open serve.request roots keyed by request sequence number
+// instead of training iteration. The name must be a root name (IsRoot) for
+// the analyzer to attribute its children.
+func (t *Tracer) RootNamed(iteration int, name string) Active {
 	if !t.Sampled(iteration) {
 		return Active{}
 	}
@@ -214,7 +222,7 @@ func (t *Tracer) Root(iteration int) Active {
 		t:      t,
 		trace:  TraceID(t.worker, iteration),
 		id:     t.col.ids.Add(1),
-		name:   NBatch,
+		name:   name,
 		start:  time.Now(),
 		iter:   int64(iteration),
 		parent: 0,

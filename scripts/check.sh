@@ -6,12 +6,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== doc-comment lint (internal/metrics exported symbols)"
+echo "== doc-comment lint (internal/metrics + internal/serve exported symbols)"
 # Every top-level exported declaration in internal/metrics must carry a doc
 # comment: the package is the observability contract other layers (and
 # EXPERIMENTS.md) build on, so undocumented surface is a defect here.
+# internal/serve is held to the same bar — it is the outward-facing query
+# surface (hetkg-serve) and the hetkg facade aliases its types.
 undoc=$(
-    for f in internal/metrics/*.go; do
+    for f in internal/metrics/*.go internal/serve/*.go; do
         case "$f" in *_test.go) continue ;; esac
         awk -v file="$f" '
             /^(func|type) [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^(var|const) [A-Z]/ {
@@ -57,6 +59,29 @@ for name in $(sed -n 's/.*= "\([a-z0-9_.]*\)"$/\1/p' internal/span/names.go); do
 done
 if [ "$missing" -ne 0 ]; then
     echo "check: FAIL (undocumented span names)"
+    exit 1
+fi
+
+echo "== DESIGN.md §9 serving coverage lint"
+# Every serve.* metric and span name must appear in DESIGN.md §9's serving
+# section (the architecture doc for the query server), in addition to the
+# global tables checked above.
+serving=$(sed -n '/^## 9\. Serving architecture/,$p' DESIGN.md)
+if [ -z "$serving" ]; then
+    echo "DESIGN.md has no '## 9. Serving architecture' section"
+    echo "check: FAIL (missing serving architecture doc)"
+    exit 1
+fi
+missing=0
+for name in $(sed -n 's/.*= "\(serve\.[a-z0-9_.]*\)"$/\1/p' \
+        internal/metrics/names.go internal/span/names.go); do
+    if ! printf '%s' "$serving" | grep -qF "$name"; then
+        echo "DESIGN.md §9 does not document serving name \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (undocumented serving names)"
     exit 1
 fi
 
