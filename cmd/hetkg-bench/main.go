@@ -33,6 +33,7 @@ func main() {
 		spanDir = flag.String("span", "", "write one span dump per training run into this directory")
 		spanN   = flag.Int("span-every", 0, "batch sampling interval for -span (0 = default 16)")
 		spanFmt = flag.String("span-format", "jsonl", "span output format for -span: jsonl | chrome")
+		bench   = flag.String("bench-out", "", "write machine-readable perf snapshots (BENCH_codecs.json) into this directory")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		SpanDir:     *spanDir,
 		SpanEvery:   *spanN,
 		SpanFormat:  *spanFmt,
+		BenchDir:    *bench,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +41,7 @@ func main() {
 		partName = flag.String("partitioner", "metis", "graph partitioner: metis | ldg | random")
 		seed     = flag.Int64("seed", 42, "random seed (must match the trainer)")
 		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		codecs   = flag.String("codec", "", "comma-separated wire codec profiles to accept (empty = all)")
 		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
 		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight connections on SIGINT/SIGTERM")
@@ -92,6 +94,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var acc hetkg.ShardAcceptor
+	if *codecs != "" {
+		acc.AllowCodecs = strings.Split(*codecs, ",")
+	}
 	served := make(chan struct{})
 	go func() {
 		acc.Serve(l, shard)

@@ -45,6 +45,8 @@ func main() {
 		save     = flag.String("save", "", "write the trained embeddings to this checkpoint file")
 		load     = flag.String("load", "", "resume training from this checkpoint file")
 		shards   = flag.String("shards", "", "comma-separated hetkg-ps addresses (one per machine) for a multi-process run")
+		codec    = flag.String("codec", "", "wire codec profile: fp32 | fp16 | int8 | delta-int8 | topk | auto (default fp32)")
+		topk     = flag.Float64("topk-ratio", 0, "kept gradient fraction per row for -codec topk (0 = default 0.125)")
 		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
 		timeline = flag.String("timeline", "", "write a per-iteration JSONL timeline to this file")
 		tlEvery  = flag.Int("timeline-every", 0, "iterations between timeline records (0 = default)")
@@ -141,6 +143,8 @@ func main() {
 		EntityFraction:          *entFrac,
 		NoHeterogeneity:         *noHet,
 		ShardAddrs:              shardAddrs,
+		Codec:                   *codec,
+		TopKRatio:               *topk,
 		Resume:                  resume,
 		LocalMachines:           localMachines(*machine),
 		AdversarialTemp:         float32(*advTemp),

@@ -100,6 +100,12 @@ func (h *HotCache) refreshSpan() (sp span.Active, done func(rows int64)) {
 type hotRow struct {
 	vals     []float32
 	lastSync int
+	// version counts synchronizations with the parameter server (Build,
+	// Refresh, Offer), starting at 1. It is the cache-level view of the
+	// replica generation the wire codec's delta protocol keys on: a row's
+	// version advances exactly when a fresh server-side value lands, so
+	// "the version the worker holds" is well defined for the pull path.
+	version uint32
 }
 
 // New builds an empty cache for a worker. localOpt is the optimizer applied
@@ -147,7 +153,11 @@ func (h *HotCache) Build(keys []ps.Key, iteration int) error {
 	}
 	rows := make(map[ps.Key]*hotRow, len(fresh))
 	for k, v := range fresh {
-		rows[k] = &hotRow{vals: v, lastSync: iteration}
+		ver := uint32(1)
+		if old := h.rows[k]; old != nil {
+			ver = old.version + 1
+		}
+		rows[k] = &hotRow{vals: v, lastSync: iteration, version: ver}
 	}
 	if o := h.obs; o != nil {
 		for k := range h.rows {
@@ -204,6 +214,19 @@ func (h *HotCache) Offer(k ps.Key, vals []float32, iteration int) {
 	}
 	row.vals = vals
 	row.lastSync = iteration
+	row.version++
+}
+
+// Version returns the row's synchronization generation: how many times a
+// fresh parameter-server value has been installed for k (0 when k is not
+// cached). Diagnostics and the delta-codec tests use it to reason about
+// which generation a worker replica holds.
+func (h *HotCache) Version(k ps.Key) uint32 {
+	row, ok := h.rows[k]
+	if !ok {
+		return 0
+	}
+	return row.version
 }
 
 // Peek returns the cached row regardless of freshness, without touching the
@@ -252,7 +275,11 @@ func (h *HotCache) Refresh(iteration int) error {
 		o.refreshed.Add(int64(len(keys)))
 	}
 	for k, v := range fresh {
-		h.rows[k] = &hotRow{vals: v, lastSync: iteration}
+		ver := uint32(1)
+		if old := h.rows[k]; old != nil {
+			ver = old.version + 1
+		}
+		h.rows[k] = &hotRow{vals: v, lastSync: iteration, version: ver}
 	}
 	return nil
 }

@@ -603,3 +603,53 @@ func TestPolicyEvictionCounts(t *testing.T) {
 		t.Errorf("LFU evictions = %d, want 1", u.Evictions())
 	}
 }
+
+// TestRowVersions pins the synchronization-generation counter the delta
+// wire codec reasons about: absent rows report 0, Build starts at 1, every
+// fresh install (Offer, Refresh) advances it, and rebuilding an existing
+// key continues its generation instead of restarting.
+func TestRowVersions(t *testing.T) {
+	g := smallGraph(t)
+	_, cl := fixture(t, g)
+	hc, err := New(cl, &opt.SGD{LR: 0.1}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := ps.EntityKey(0)
+	if v := hc.Version(k); v != 0 {
+		t.Errorf("uncached version = %d, want 0", v)
+	}
+	keys := []ps.Key{k, ps.RelationKey(0)}
+	if err := hc.Build(keys, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v := hc.Version(k); v != 1 {
+		t.Errorf("version after Build = %d, want 1", v)
+	}
+	hc.Offer(k, make([]float32, 4), 1)
+	if v := hc.Version(k); v != 2 {
+		t.Errorf("version after Offer = %d, want 2", v)
+	}
+	// Offers for keys outside the table do not create versions.
+	hc.Offer(ps.EntityKey(50), make([]float32, 4), 1)
+	if v := hc.Version(ps.EntityKey(50)); v != 0 {
+		t.Errorf("foreign key gained version %d", v)
+	}
+	if err := hc.Refresh(2); err != nil {
+		t.Fatal(err)
+	}
+	if v := hc.Version(k); v != 3 {
+		t.Errorf("version after Refresh = %d, want 3", v)
+	}
+	// A rebuild keeps the generation moving for surviving keys and drops
+	// it for evicted ones.
+	if err := hc.Build([]ps.Key{k}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v := hc.Version(k); v != 4 {
+		t.Errorf("version after rebuild = %d, want 4", v)
+	}
+	if v := hc.Version(ps.RelationKey(0)); v != 0 {
+		t.Errorf("evicted key kept version %d", v)
+	}
+}

@@ -92,8 +92,17 @@ type RunConfig struct {
 	EntityFraction   float64
 	NoHeterogeneity  bool // HET-KG-N of Table VII
 	DisableCacheSync bool // force unbounded staleness
-	// Quantize8Bit compresses wire payloads to 8 bits (extension).
+	// Quantize8Bit compresses wire payloads to 8 bits (extension; the
+	// legacy spelling of Codec: "int8").
 	Quantize8Bit bool
+	// Codec names the negotiated wire-codec profile for worker↔PS links:
+	// "fp32" (default), "fp16", "int8", "delta-int8", "topk", or "auto".
+	// With ShardAddrs set the profile is negotiated in each connection's
+	// TCP handshake; in-process it wraps the simulated transport.
+	Codec string
+	// TopKRatio is the kept fraction per gradient row for Codec: "topk"
+	// (default 0.125).
+	TopKRatio float64
 	// AdversarialTemp enables self-adversarial negative weighting
 	// (extension; 0 = the paper's uniform weighting).
 	AdversarialTemp float32
@@ -312,6 +321,8 @@ func Run(rc RunConfig) (*train.Result, error) {
 		Seed:              rc.Seed,
 		NewOptimizer:      newOpt,
 		Quantize8Bit:      rc.Quantize8Bit,
+		Codec:             rc.Codec,
+		TopKRatio:         rc.TopKRatio,
 		NegativeWeights:   negWeights(rc.DegreeWeightedNegatives, sp.Train),
 		InitialEntities:   resumeEntities(rc.Resume),
 		InitialRelations:  resumeRelations(rc.Resume),
@@ -329,8 +340,12 @@ func Run(rc RunConfig) (*train.Result, error) {
 			return nil, fmt.Errorf("core: %d shard addresses for %d machines", len(rc.ShardAddrs), rc.Machines)
 		}
 		addrs := rc.ShardAddrs
+		codec := rc.Codec
+		if codec == "" && rc.Quantize8Bit {
+			codec = ps.ProfileInt8
+		}
 		tc.NewTransport = func(*ps.Cluster) (ps.Transport, error) {
-			return ps.DialTCP(addrs)
+			return ps.DialTCPCodec(addrs, codec)
 		}
 	}
 	var timelineFile *os.File
@@ -413,6 +428,11 @@ type Options struct {
 	SpanDir    string
 	SpanEvery  int
 	SpanFormat string
+	// BenchDir, when non-empty, lets experiments that produce machine-
+	// readable perf snapshots (the codecs sweep's BENCH_codecs.json) write
+	// them under this directory. Left empty — the default, and what the
+	// test suite uses — experiments render tables only and touch no files.
+	BenchDir string
 }
 
 // timelineSeq numbers experiment timeline files within a process, so runs

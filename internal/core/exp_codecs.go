@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hetkg/internal/metrics"
+	"hetkg/internal/ps"
+)
+
+// Wire-codec sweep: the negotiated codec layer's headline numbers. One
+// training run per codec profile on identical data and seeds, reporting the
+// pull+push payload bytes before and after encoding (ps.codec.bytes_raw /
+// ps.codec.bytes_wire), the wire bytes per iteration, wall time, and the
+// final MRR — the compression-vs-convergence trade the profiles span. The
+// delta-int8 row is the PR's acceptance claim: ≥3x smaller wire payloads
+// than fp32 with no accuracy change.
+
+func init() {
+	register(Experiment{
+		ID:    "codecs",
+		Title: "Wire codec sweep: payload compression vs convergence per profile  [extension]",
+		Run:   runCodecs,
+	})
+}
+
+// codecBenchRow is one codec's measurements in BENCH_codecs.json.
+type codecBenchRow struct {
+	Codec        string  `json:"codec"`
+	BytesRaw     int64   `json:"bytes_raw"`
+	BytesWire    int64   `json:"bytes_wire"`
+	Ratio        float64 `json:"ratio"`
+	BytesPerIter float64 `json:"bytes_per_iter"`
+	WallMS       float64 `json:"wall_ms"`
+	MRR          float64 `json:"mrr"`
+}
+
+// codecBenchFile is the BENCH_codecs.json schema.
+type codecBenchFile struct {
+	Schema   string          `json:"schema"`
+	Dataset  string          `json:"dataset"`
+	Scale    string          `json:"scale"`
+	Dim      int             `json:"dim"`
+	Machines int             `json:"machines"`
+	Epochs   int             `json:"epochs"`
+	Seed     int64           `json:"seed"`
+	Rows     []codecBenchRow `json:"rows"`
+}
+
+func runCodecs(o Options) (*Table, error) {
+	o.defaults()
+	t := &Table{
+		ID:     "codecs",
+		Title:  "Wire codecs on fb15k-like (HET-KG-D, TransE)",
+		Header: []string{"Codec", "RawMB", "WireMB", "Ratio", "B/iter", "Wall", "MRR"},
+	}
+	// commDim keeps rows wide enough (>= 64 floats) that per-row codec
+	// headers are noise; at tiny widths the 5-byte delta header eats the
+	// int8 savings and no profile could show its asymptotic ratio.
+	dim := commDim(o)
+	const epochs = 2
+	bench := codecBenchFile{
+		Schema:   "hetkg-bench-codecs/v1",
+		Dataset:  "fb15k",
+		Scale:    o.Scale.String(),
+		Dim:      dim,
+		Machines: 4,
+		Epochs:   epochs,
+		Seed:     o.Seed,
+	}
+	for _, codec := range []string{
+		ps.ProfileFP32, ps.ProfileFP16, ps.ProfileInt8, ps.ProfileDeltaInt8, ps.ProfileTopK,
+	} {
+		o.logf("codecs: %s ...", codec)
+		start := time.Now()
+		res, err := o.run(RunConfig{
+			Dataset:   "fb15k",
+			Scale:     o.Scale,
+			System:    SystemHETKGD,
+			ModelName: "transe",
+			Dim:       dim,
+			Machines:  bench.Machines,
+			Epochs:    epochs,
+			Codec:     codec,
+			Seed:      o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("codecs (%s): %w", codec, err)
+		}
+		wall := time.Since(start)
+		raw := res.Metrics.Counter(metrics.MPSCodecBytesRaw).Value()
+		wire := res.Metrics.Counter(metrics.MPSCodecBytesWire).Value()
+		iters := res.Metrics.Counter(metrics.MTrainIterations).Value()
+		ratio := 0.0
+		if wire > 0 {
+			ratio = float64(raw) / float64(wire)
+		}
+		perIter := 0.0
+		if iters > 0 {
+			perIter = float64(wire) / float64(iters)
+		}
+		t.AddRow(codec,
+			fmt.Sprintf("%.2f", float64(raw)/1e6),
+			fmt.Sprintf("%.2f", float64(wire)/1e6),
+			fmt.Sprintf("%.2fx", ratio),
+			fmt.Sprintf("%.0f", perIter),
+			fmtDur(wall),
+			fmt.Sprintf("%.3f", res.Final.MRR))
+		bench.Rows = append(bench.Rows, codecBenchRow{
+			Codec:        codec,
+			BytesRaw:     raw,
+			BytesWire:    wire,
+			Ratio:        ratio,
+			BytesPerIter: perIter,
+			WallMS:       float64(wall.Milliseconds()),
+			MRR:          res.Final.MRR,
+		})
+	}
+	t.Note("ratio = codec payload bytes before / after encoding (pull + push, per-row headers included)")
+	t.Note("claim: delta-int8 >= 3x vs fp32's 1x with matching MRR; topk trades MRR noise for the sparsest pushes")
+	if o.BenchDir != "" {
+		if err := writeCodecBench(o.BenchDir, bench); err != nil {
+			return nil, err
+		}
+		t.Note("snapshot written to %s", filepath.Join(o.BenchDir, "BENCH_codecs.json"))
+	}
+	return t, nil
+}
+
+// writeCodecBench writes the machine-readable sweep snapshot under dir.
+func writeCodecBench(dir string, bench codecBenchFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("codecs: creating bench directory: %w", err)
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return fmt.Errorf("codecs: encoding snapshot: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_codecs.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("codecs: writing snapshot: %w", err)
+	}
+	return nil
+}

@@ -47,6 +47,21 @@ const (
 	// MPSBytesRx counts wire bytes received from the PS (pull responses).
 	MPSBytesRx = "ps.bytes_rx"
 
+	// MPSCodecBytesRaw counts pre-codec payload bytes (4 per float32 value
+	// crossing the transport in either direction), the baseline the codec
+	// savings are measured against.
+	MPSCodecBytesRaw = "ps.codec.bytes_raw"
+	// MPSCodecBytesWire counts post-codec payload bytes — what the
+	// negotiated wire codec actually ships. bytes_raw/bytes_wire is the
+	// compression ratio.
+	MPSCodecBytesWire = "ps.codec.bytes_wire"
+	// MPSCodecRowsDelta counts pull rows that were delta-encoded against
+	// the link's cached version (vs sent full).
+	MPSCodecRowsDelta = "ps.codec.rows_delta"
+	// MPSCodecRowsTopkDropped counts gradient coordinates zeroed by the
+	// top-k sparsifier into the error-feedback buffer (re-sent later).
+	MPSCodecRowsTopkDropped = "ps.codec.rows_topk_dropped"
+
 	// MNetLocalMsgs counts shared-memory (co-located) messages.
 	MNetLocalMsgs = "net.local_msgs"
 	// MNetLocalBytes counts shared-memory bytes.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetkg/internal/metrics"
@@ -15,32 +16,61 @@ import (
 )
 
 // The TCP transport implements the same Pull/Push protocol over real
-// sockets with gob encoding, proving the parameter server works across
+// sockets with gob envelopes, proving the parameter server works across
 // process boundaries. Experiments use InProc (deterministic timing);
-// integration tests exercise this path.
+// integration tests and the cmd/ binaries exercise this path.
+//
+// A connection starts with a codec handshake: the client sends wireHello
+// naming a codec profile (one byte, see profileID), the shard answers with
+// wireHelloAck carrying its row widths (or a refusal when the profile is
+// outside the Acceptor's allowlist). After the handshake, every embedding
+// and gradient travels as an opaque Payload produced by the negotiated
+// linkCodec — exact binary row layouts instead of gob-encoded []float32,
+// so the Sizer's byte accounting matches what the socket carries.
 
-// wireRequest is the on-wire envelope for both operations. TraceID/ParentID
-// carry the originating batch's span context across the wire (gob omits
-// zero values, so untraced requests pay nothing extra); the serving shard
-// parents its spans under them.
+// wireHello opens a connection: V is the protocol version, Profile the
+// codec profile id the client wants for this link.
+type wireHello struct {
+	V       byte
+	Profile byte
+}
+
+// wireHelloAck accepts or refuses a hello. On success it carries the
+// shard's row widths, which the client's codec needs for per-row framing.
+type wireHelloAck struct {
+	Err    string
+	EntDim int
+	RelDim int
+}
+
+// wireVersion is the current handshake protocol version.
+const wireVersion = 1
+
+// wireRequest is the on-wire envelope for both operations. Payload carries
+// codec-encoded bytes: the advertised base versions of a delta pull, or
+// the encoded gradient rows of a push. TraceID/ParentID carry the
+// originating batch's span context across the wire (gob omits zero values,
+// so untraced requests pay nothing extra); the serving shard parents its
+// spans under them.
 type wireRequest struct {
 	Op       byte // 'P' pull, 'U' push
 	Keys     []Key
-	Vals     []float32
+	Payload  []byte
 	TraceID  uint64
 	ParentID uint64
 }
 
-// wireResponse is the on-wire reply.
+// wireResponse is the on-wire reply; Payload is the codec-encoded pull
+// rows (empty for pushes).
 type wireResponse struct {
-	Vals []float32
-	Err  string
+	Payload []byte
+	Err     string
 }
 
 // ServeTCP runs a shard's accept loop until the listener closes. Each
 // connection is handled on its own goroutine; requests on one connection
-// are processed in order. Processes that need to drain connections on
-// shutdown should use an Acceptor instead.
+// are processed in order. Every codec profile is allowed. Processes that
+// need an allowlist or connection draining should use an Acceptor.
 func ServeTCP(l net.Listener, srv *Server) {
 	var a Acceptor
 	a.Serve(l, srv)
@@ -48,8 +78,13 @@ func ServeTCP(l net.Listener, srv *Server) {
 
 // Acceptor is a shard accept loop with graceful shutdown: it tracks live
 // connections so Shutdown can wait for in-flight requests to drain before
-// force-closing stragglers. The zero Acceptor is ready to use.
+// force-closing stragglers. The zero Acceptor is ready to use and accepts
+// every codec profile; set AllowCodecs before Serve to restrict.
 type Acceptor struct {
+	// AllowCodecs, when non-empty, lists the codec profiles this shard
+	// will negotiate; hellos naming others are refused at handshake.
+	AllowCodecs []string
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -70,7 +105,7 @@ func (a *Acceptor) Serve(l net.Listener, srv *Server) {
 		}
 		go func() {
 			defer a.untrack(conn)
-			serveConn(conn, srv)
+			serveConn(conn, srv, a.AllowCodecs)
 		}()
 	}
 }
@@ -141,15 +176,61 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func serveConn(conn net.Conn, srv *Server) {
+// handshakeServer negotiates one connection's codec: it reads the hello,
+// checks the allowlist, and answers with the shard's dims (or a refusal).
+func handshakeServer(dec *gob.Decoder, enc *gob.Encoder, bw *bufio.Writer, srv *Server, allow []string) (Profile, error) {
+	var hello wireHello
+	if err := dec.Decode(&hello); err != nil {
+		return Profile{}, err
+	}
+	prof, err := profileByID(hello.Profile)
+	if err == nil && hello.V != wireVersion {
+		err = fmt.Errorf("ps: wire version %d, want %d", hello.V, wireVersion)
+	}
+	if err == nil && len(allow) > 0 {
+		allowed := false
+		for _, name := range allow {
+			if name == prof.Name {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			err = fmt.Errorf("ps: codec %q refused by shard (allowed: %v)", prof.Name, allow)
+		}
+	}
+	ack := wireHelloAck{EntDim: srv.Width(EntityKey(0)), RelDim: srv.Width(RelationKey(0))}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	if encErr := enc.Encode(&ack); encErr != nil {
+		return Profile{}, encErr
+	}
+	if flushErr := bw.Flush(); flushErr != nil {
+		return Profile{}, flushErr
+	}
+	return prof, err
+}
+
+func serveConn(conn net.Conn, srv *Server, allow []string) {
 	defer conn.Close()
 	if o := srv.obs; o != nil {
 		o.tcpConns.Inc()
 		conn = &countingConn{Conn: conn, rx: o.tcpRx, tx: o.tcpTx}
 	}
-	br := bufio.NewWriter(conn)
+	bw := bufio.NewWriter(conn)
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(br)
+	enc := gob.NewEncoder(bw)
+	prof, err := handshakeServer(dec, enc, bw, srv, allow)
+	if err != nil {
+		return // refused or broken handshake; the ack carried the reason
+	}
+	lc, err := newLinkCodec(prof, srv.Width)
+	if err != nil {
+		return
+	}
+	var pbuf []byte    // response payload scratch
+	var vbuf []float32 // push decode scratch
 	for {
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
@@ -162,11 +243,26 @@ func serveConn(conn net.Conn, srv *Server) {
 			vals, err := srv.PullTraced(sc, req.Keys)
 			if err != nil {
 				resp.Err = err.Error()
-			} else {
-				resp.Vals = vals
+				break
 			}
+			payload, err := lc.encodePull(pbuf[:0], req.Keys, req.Payload, vals)
+			if err != nil {
+				resp.Err = err.Error()
+				break
+			}
+			pbuf = payload
+			resp.Payload = payload
 		case 'U':
-			if err := srv.PushTraced(sc, req.Keys, req.Vals); err != nil {
+			total := lc.totalWidth(req.Keys)
+			if cap(vbuf) < total {
+				vbuf = make([]float32, total)
+			}
+			vals := vbuf[:total]
+			if err := lc.decodePush(req.Keys, req.Payload, vals); err != nil {
+				resp.Err = err.Error()
+				break
+			}
+			if err := srv.PushTraced(sc, req.Keys, vals); err != nil {
 				resp.Err = err.Error()
 			}
 		default:
@@ -175,26 +271,55 @@ func serveConn(conn net.Conn, srv *Server) {
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
-		if err := br.Flush(); err != nil {
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-// TCPTransport connects a worker to shards over TCP, one persistent
-// connection per shard. Calls on the same shard are serialized by a
-// per-connection mutex.
+// TCPTransport connects a worker process to shards over TCP, one
+// persistent connection per shard with its own negotiated codec state.
+// Calls on the same shard are serialized by a per-connection mutex.
 type TCPTransport struct {
 	conns  []*tcpConn
+	codec  string // requested profile ("auto" resolves per connection)
 	tracer *span.Tracer
+
+	lastPullTx atomic.Int64
+	lastPullRx atomic.Int64
+	lastPushTx atomic.Int64
 }
 
 // Trace attaches a span tracer to the transport. Traced requests then record
-// transport.serialize (gob encode + flush) and wire.tcp (request flushed →
-// response decoded, which includes shard service time) spans. The transport
-// is shared by every worker on the process, so wire its tracer with the
-// MachineTransport/WorkerTransport pseudo-coordinates.
+// transport.encode (codec work), transport.serialize (gob encode + flush)
+// and wire.tcp (request flushed → response decoded, which includes shard
+// service time) spans. The transport is shared by every worker on the
+// process, so wire its tracer with the MachineTransport/WorkerTransport
+// pseudo-coordinates.
 func (t *TCPTransport) Trace(tr *span.Tracer) { t.tracer = tr }
+
+// Instrument publishes the transport's codec byte accounting into reg (see
+// CodecTransport.Instrument for the series). Call before traffic flows.
+func (t *TCPTransport) Instrument(reg *metrics.Registry) {
+	obs := newCodecObs(reg)
+	for _, c := range t.conns {
+		c.lc.obs = obs
+	}
+}
+
+// NegotiatedProfile returns the profile this transport was dialed with
+// ("auto" when per-connection resolution was requested; see Profiles).
+func (t *TCPTransport) NegotiatedProfile() string { return t.codec }
+
+// Profiles returns the per-connection negotiated profile names, in shard
+// order — under "auto" they can differ per link.
+func (t *TCPTransport) Profiles() []string {
+	out := make([]string, len(t.conns))
+	for i, c := range t.conns {
+		out[i] = c.lc.prof.Name
+	}
+	return out
+}
 
 type tcpConn struct {
 	mu   sync.Mutex
@@ -202,36 +327,94 @@ type tcpConn struct {
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	bw   *bufio.Writer
+	lc   *linkCodec
+	pbuf []byte // request payload scratch (base versions / encoded grads)
 }
 
-// DialTCP connects to every shard address in order.
+// DialTCP connects to every shard address in order with the exact fp32
+// profile — the drop-in equivalent of the pre-codec wire protocol.
 func DialTCP(addrs []string) (*TCPTransport, error) {
-	t := &TCPTransport{}
+	return DialTCPCodec(addrs, ProfileFP32)
+}
+
+// DialTCPCodec connects to every shard address, negotiating the named
+// codec profile on each connection. "auto" measures each dial's TCP
+// round-trip time and picks per link via ChooseProfile: co-located shards
+// stay on fp32, slow links get delta-int8.
+func DialTCPCodec(addrs []string, codec string) (*TCPTransport, error) {
+	reqProf, err := ResolveProfile(codec)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPTransport{codec: reqProf.Name}
 	for _, addr := range addrs {
+		start := time.Now()
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("ps: dialing shard %s: %w", addr, err)
 		}
-		bw := bufio.NewWriter(conn)
-		t.conns = append(t.conns, &tcpConn{
-			conn: conn,
-			enc:  gob.NewEncoder(bw),
-			dec:  gob.NewDecoder(conn),
-			bw:   bw,
-		})
+		prof := reqProf
+		if prof.Name == ProfileAuto {
+			prof, err = ResolveProfile(ChooseProfile(time.Since(start), 0))
+			if err != nil {
+				conn.Close()
+				t.Close()
+				return nil, err
+			}
+		}
+		c, err := handshakeClient(conn, prof)
+		if err != nil {
+			conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("ps: handshake with shard %s: %w", addr, err)
+		}
+		t.conns = append(t.conns, c)
 	}
 	return t, nil
 }
 
-func (t *TCPTransport) call(shard int, req *wireRequest) (*wireResponse, error) {
-	if shard < 0 || shard >= len(t.conns) {
-		return nil, fmt.Errorf("ps: no shard %d", shard)
+// handshakeClient sends the hello on a fresh connection and builds the
+// connection's codec state from the shard's answer.
+func handshakeClient(conn net.Conn, prof Profile) (*tcpConn, error) {
+	id, err := profileID(prof.Name)
+	if err != nil {
+		return nil, err
 	}
-	c := t.conns[shard]
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&wireHello{V: wireVersion, Profile: id}); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	var ack wireHelloAck
+	if err := dec.Decode(&ack); err != nil {
+		return nil, err
+	}
+	if ack.Err != "" {
+		return nil, errors.New(ack.Err)
+	}
+	if ack.EntDim <= 0 || ack.RelDim <= 0 {
+		return nil, fmt.Errorf("ps: shard advertised dims %d/%d", ack.EntDim, ack.RelDim)
+	}
+	lc, err := newLinkCodec(prof, func(k Key) int {
+		if k.IsRelation() {
+			return ack.RelDim
+		}
+		return ack.EntDim
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{conn: conn, enc: enc, dec: dec, bw: bw, lc: lc}, nil
+}
+
+// roundTrip sends req and reads the reply on c. The caller holds c.mu.
+func (t *TCPTransport) roundTrip(shard int, c *tcpConn, req *wireRequest) (*wireResponse, error) {
 	sc := span.Context{Trace: req.TraceID, Parent: req.ParentID}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	ser := t.tracer.StartChild(sc, span.NSerialize)
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("ps: sending to shard %d: %w", shard, err)
@@ -255,22 +438,58 @@ func (t *TCPTransport) call(shard int, req *wireRequest) (*wireResponse, error) 
 	return &resp, nil
 }
 
-// Pull implements Transport.
+// Pull implements Transport: the request advertises the link's base
+// versions (delta profiles), the reply's payload decodes through the
+// negotiated pull codec.
 func (t *TCPTransport) Pull(shard int, req *PullRequest) (*PullResponse, error) {
-	resp, err := t.call(shard, &wireRequest{
-		Op: 'P', Keys: req.Keys,
-		TraceID: req.Trace.Trace, ParentID: req.Trace.Parent,
+	if shard < 0 || shard >= len(t.conns) {
+		return nil, fmt.Errorf("ps: no shard %d", shard)
+	}
+	c := t.conns[shard]
+	sc := req.Trace
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pbuf = c.lc.appendBaseVers(c.pbuf[:0], req.Keys)
+	resp, err := t.roundTrip(shard, c, &wireRequest{
+		Op: 'P', Keys: req.Keys, Payload: c.pbuf,
+		TraceID: sc.Trace, ParentID: sc.Parent,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &PullResponse{Vals: resp.Vals}, nil
+	sp := t.tracer.StartChild(sc, span.NEncode)
+	vals := make([]float32, c.lc.totalWidth(req.Keys))
+	if err := c.lc.decodePull(req.Keys, resp.Payload, vals); err != nil {
+		sp.EndAttrs(span.Attrs{Rows: int64(len(req.Keys)), Shard: shard})
+		return nil, fmt.Errorf("ps: decoding pull from shard %d: %w", shard, err)
+	}
+	sp.EndAttrs(span.Attrs{Rows: int64(len(req.Keys)), Bytes: int64(len(resp.Payload)), Shard: shard})
+	t.lastPullTx.Store(PullRequestBytes(len(req.Keys)) + int64(len(c.pbuf)))
+	t.lastPullRx.Store(msgHeaderBytes + int64(len(resp.Payload)))
+	return &PullResponse{Vals: vals}, nil
 }
 
-// Push implements Transport.
+// Push implements Transport: gradients are codec-encoded (the caller's
+// vals are rewritten with the decoder-visible values, as everywhere in the
+// codec layer) and travel as an opaque payload.
 func (t *TCPTransport) Push(shard int, req *PushRequest) error {
-	_, err := t.call(shard, &wireRequest{
-		Op: 'U', Keys: req.Keys, Vals: req.Vals,
+	if shard < 0 || shard >= len(t.conns) {
+		return fmt.Errorf("ps: no shard %d", shard)
+	}
+	c := t.conns[shard]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := t.tracer.StartChild(req.Trace, span.NEncode)
+	payload, err := c.lc.encodePush(c.pbuf[:0], req.Keys, req.Vals)
+	if err != nil {
+		sp.EndAttrs(span.Attrs{Rows: int64(len(req.Keys)), Shard: shard})
+		return err
+	}
+	c.pbuf = payload
+	sp.EndAttrs(span.Attrs{Rows: int64(len(req.Keys)), Bytes: int64(len(payload)), Shard: shard})
+	t.lastPushTx.Store(msgHeaderBytes + 8*int64(len(req.Keys)) + int64(len(payload)))
+	_, err = t.roundTrip(shard, c, &wireRequest{
+		Op: 'U', Keys: req.Keys, Payload: payload,
 		TraceID: req.Trace.Trace, ParentID: req.Trace.Parent,
 	})
 	return err
@@ -288,3 +507,15 @@ func (t *TCPTransport) Close() error {
 	}
 	return first
 }
+
+// Wire sizes: the most recent call's measured payload sizes (see
+// CodecTransport for the last-call contract).
+
+// PullRequestWireBytes implements Sizer.
+func (t *TCPTransport) PullRequestWireBytes(int) int64 { return t.lastPullTx.Load() }
+
+// PullResponseWireBytes implements Sizer.
+func (t *TCPTransport) PullResponseWireBytes(int) int64 { return t.lastPullRx.Load() }
+
+// PushRequestWireBytes implements Sizer.
+func (t *TCPTransport) PushRequestWireBytes(int, int) int64 { return t.lastPushTx.Load() }

@@ -27,6 +27,11 @@ const (
 	// NSerialize covers gob-encoding and flushing a request on the TCP
 	// transport.
 	NSerialize = "transport.serialize"
+	// NEncode covers the negotiated wire codec's work on a request: delta
+	// framing and row encoding of a pull response (in-process transports
+	// simulate both ends), or decode of one on the TCP client, or gradient
+	// encoding of a push.
+	NEncode = "transport.encode"
 	// NWireTCP covers the real-socket round trip of a TCP request: from
 	// request flushed to response decoded (includes shard service time).
 	NWireTCP = "wire.tcp"

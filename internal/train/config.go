@@ -113,8 +113,22 @@ type Config struct {
 	// paper's setting).
 	AdversarialTemp float32
 
+	// Codec names the negotiated wire-codec profile for worker↔PS links:
+	// "fp32" (default), "fp16", "int8", "delta-int8", "topk", or "auto"
+	// (picked per link from RTT×bandwidth). See ps.ResolveProfile. For
+	// in-process transports the codec layer wraps the transport here; TCP
+	// transports negotiate it themselves at dial time, so supply the same
+	// name to ps.DialTCPCodec.
+	Codec string
+
+	// TopKRatio is the fraction of gradient coordinates the "topk" codec's
+	// push sparsifier keeps per row (default 0.125, at least one
+	// coordinate); the rest accumulate in the worker's error-feedback
+	// buffer and are re-sent later.
+	TopKRatio float64
+
 	// Quantize8Bit compresses every embedding and gradient payload to 8
-	// bits on the wire (lossy; see ps.QuantizedTransport). An extension
+	// bits on the wire — the legacy switch for Codec: "int8". An extension
 	// beyond the paper, stacked on top of the cache.
 	Quantize8Bit bool
 
@@ -218,6 +232,18 @@ func (c *Config) Validate() error {
 	if c.NewOptimizer == nil {
 		lr := c.LR
 		c.NewOptimizer = func() opt.Optimizer { return opt.NewAdaGrad(lr, 1e-10) }
+	}
+	if c.Quantize8Bit && c.Codec == "" {
+		c.Codec = ps.ProfileInt8
+	}
+	if _, err := ps.ResolveProfile(c.Codec); err != nil {
+		return err
+	}
+	if c.TopKRatio == 0 {
+		c.TopKRatio = 0.125
+	}
+	if c.TopKRatio < 0 || c.TopKRatio > 1 {
+		return fmt.Errorf("train: TopKRatio %v outside (0, 1]", c.TopKRatio)
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()

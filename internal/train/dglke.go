@@ -231,8 +231,19 @@ func setupPS(cfg *Config) (*psEnv, error) {
 	} else {
 		tr = ps.NewInProc(cluster)
 	}
-	if cfg.Quantize8Bit {
-		tr = ps.NewQuantized(tr, cluster)
+	// Wrap in-process transports with the negotiated codec layer. A
+	// transport that already negotiated its own profile (TCP, at dial
+	// time) is left alone — wrapping it would codec the payload twice.
+	if _, negotiated := tr.(interface{ NegotiatedProfile() string }); !negotiated && cfg.Codec != "" {
+		tr, err = ps.NewCodecTransport(tr, cluster, cfg.Codec, cfg.CostModel)
+		if err != nil {
+			return nil, fmt.Errorf("train: building codec transport: %w", err)
+		}
+	}
+	if cfg.Metrics != nil {
+		if inst, ok := tr.(interface{ Instrument(*metrics.Registry) }); ok {
+			inst.Instrument(cfg.Metrics)
+		}
 	}
 	if cfg.Spans != nil {
 		// A transport serving real sockets (or a wrapper over one) records

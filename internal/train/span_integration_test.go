@@ -119,9 +119,9 @@ func TestSpanTraceStitchingOverRealTCP(t *testing.T) {
 		t.Error("no shard.apply spans crossed the TCP transport")
 	}
 
-	// The shared transport row must show serialization and wire time
-	// attributed to the same traces.
-	var serializes, wires int
+	// The shared transport row must show codec, serialization and wire
+	// time attributed to the same traces.
+	var encodes, serializes, wires int
 	for _, s := range spans {
 		if s.Machine != span.MachineTransport || s.Worker != span.WorkerTransport {
 			continue
@@ -133,6 +133,8 @@ func TestSpanTraceStitchingOverRealTCP(t *testing.T) {
 			t.Errorf("transport span %q parent %d is not a client RPC span", s.Name, s.Parent)
 		}
 		switch s.Name {
+		case span.NEncode:
+			encodes++
 		case span.NSerialize:
 			serializes++
 		case span.NWireTCP:
@@ -140,6 +142,9 @@ func TestSpanTraceStitchingOverRealTCP(t *testing.T) {
 		default:
 			t.Errorf("unexpected span %q on the transport row", s.Name)
 		}
+	}
+	if encodes == 0 {
+		t.Error("no transport.encode spans recorded")
 	}
 	if serializes == 0 {
 		t.Error("no transport.serialize spans recorded")

@@ -40,6 +40,7 @@ type worker struct {
 	client  *ps.Client
 	meter   *netsim.Meter
 	hot     *cache.HotCache // nil for cacheless trainers
+	ef      *errorFeedback  // nil unless the codec profile sparsifies pushes
 
 	cfg    *Config
 	degree int                  // resolved compute parallelism
@@ -81,6 +82,10 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 	var tobs *trainObs
 	if cfg.Metrics != nil {
 		tobs = newTrainObs(cfg.Metrics)
+	}
+	prof, err := ps.ResolveProfile(cfg.Codec)
+	if err != nil {
+		return nil, err
 	}
 	var workers []*worker
 	id := 0
@@ -127,6 +132,9 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 				degree:  par.Degree(cfg.Parallelism),
 				rows:    make(map[ps.Key][]float32),
 				obs:     tobs,
+			}
+			if prof.SparsePush {
+				w.ef = newErrorFeedback(cfg.TopKRatio, cfg.Metrics)
 			}
 			if cfg.Spans != nil {
 				w.tracer = cfg.Spans.Tracer(m, id)
@@ -369,10 +377,17 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 		o.comp.Observe(elapsed)
 	}
 
-	// Step 4: apply to cached copies, push everything to the PS.
+	// Step 4: apply to cached copies, push everything to the PS. The local
+	// copy gets the raw gradient; only the pushed exchange is sparsified
+	// (error feedback re-sends the dropped mass later).
 	if w.hot != nil {
 		for k, g := range merged.m {
 			w.hot.Update(k, g)
+		}
+	}
+	if w.ef != nil {
+		for k, g := range merged.m {
+			w.ef.Sparsify(k, g)
 		}
 	}
 	if err := w.client.Push(merged.m); err != nil {

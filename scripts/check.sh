@@ -85,6 +85,27 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
+echo "== codec profile coverage lint"
+# Every registered codec profile in internal/ps/codec.go must (a) appear in
+# EXPERIMENTS.md (the sweep documents its measured cost/accuracy trade-off)
+# and (b) be exercised by name in internal/ps/codec_test.go (golden wire
+# format / negotiation coverage) — no profile ships unmeasured or untested.
+missing=0
+for name in $(sed -n 's/^\tProfile[A-Za-z0-9]* = "\([a-z0-9-]*\)"$/\1/p' internal/ps/codec.go); do
+    if ! grep -qF "\`$name\`" EXPERIMENTS.md; then
+        echo "EXPERIMENTS.md does not document codec profile \"$name\""
+        missing=1
+    fi
+    if ! grep -qF "\"$name\"" internal/ps/codec_test.go; then
+        echo "internal/ps/codec_test.go does not cover codec profile \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (codec profile without docs or tests)"
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
