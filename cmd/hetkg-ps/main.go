@@ -42,6 +42,10 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed (must match the trainer)")
 		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve on")
 		codecs   = flag.String("codec", "", "comma-separated wire codec profiles to accept (empty = all)")
+		coord    = flag.Bool("coordinator", false, "additionally host the cluster coordinator (exactly one shard per cluster; requires -shards)")
+		shards   = flag.String("shards", "", "comma-separated addresses of ALL shards in machine order, advertised to joining workers (required with -coordinator)")
+		hbEvery  = flag.Duration("heartbeat-interval", time.Second, "heartbeat cadence advertised to workers (with -coordinator)")
+		wTimeout = flag.Duration("worker-timeout", 0, "declare a worker dead after this much heartbeat silence (0 = 3x -heartbeat-interval; with -coordinator)")
 		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
 		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight connections on SIGINT/SIGTERM")
@@ -64,9 +68,38 @@ func main() {
 		os.Exit(1)
 	}
 
+	var membership *hetkg.ClusterMembership
+	if *coord {
+		if *shards == "" {
+			fmt.Fprintln(os.Stderr, "-coordinator requires -shards (the full fleet, in machine order)")
+			os.Exit(2)
+		}
+		addrs := strings.Split(*shards, ",")
+		if len(addrs) != *machines {
+			fmt.Fprintf(os.Stderr, "-shards lists %d addresses for %d machines\n", len(addrs), *machines)
+			os.Exit(2)
+		}
+		membership, err = hetkg.NewMembership(hetkg.MemberConfig{
+			Partitions:     *machines,
+			ShardAddrs:     addrs,
+			HeartbeatEvery: *hbEvery,
+			WorkerTimeout:  *wTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *metAddr != "" {
 		reg := hetkg.NewMetricsRegistry()
 		shard.Instrument(reg)
+		if membership != nil {
+			membership.Instrument(reg)
+		}
 		var opts []hetkg.ServeOption
 		if *metAllow {
 			opts = append(opts, hetkg.MetricsAllowRemote())
@@ -96,6 +129,15 @@ func main() {
 	var acc hetkg.ShardAcceptor
 	if *codecs != "" {
 		acc.AllowCodecs = strings.Split(*codecs, ",")
+	}
+	if membership != nil {
+		acc.Coordinator = membership
+		timeout := *wTimeout
+		if timeout <= 0 {
+			timeout = 3 * *hbEvery
+		}
+		fmt.Printf("hetkg-ps: coordinating %d partitions (heartbeat %v, worker timeout %v)\n",
+			*machines, *hbEvery, timeout)
 	}
 	served := make(chan struct{})
 	go func() {

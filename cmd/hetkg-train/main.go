@@ -45,6 +45,11 @@ func main() {
 		save     = flag.String("save", "", "write the trained embeddings to this checkpoint file")
 		load     = flag.String("load", "", "resume training from this checkpoint file")
 		shards   = flag.String("shards", "", "comma-separated hetkg-ps addresses (one per machine) for a multi-process run")
+		join     = flag.String("join", "", "coordinator address for an elastic cluster run (shard fleet is discovered from the join reply; see OPERATIONS.md)")
+		hbEvery  = flag.Duration("heartbeat-interval", 0, "override the coordinator-advertised heartbeat cadence (with -join)")
+		ckptDir  = flag.String("ckpt-dir", "", "write per-partition progress snapshots to this directory for crash recovery (with -join)")
+		ckptN    = flag.Int("ckpt-every", 0, "iterations between progress snapshots (0 = 16; with -join)")
+		recoverD = flag.String("recover-from", "", "read adopted partitions' progress snapshots from this directory (default: -ckpt-dir)")
 		codec    = flag.String("codec", "", "wire codec profile: fp32 | fp16 | int8 | delta-int8 | topk | auto (default fp32)")
 		topk     = flag.Float64("topk-ratio", 0, "kept gradient fraction per row for -codec topk (0 = default 0.125)")
 		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
@@ -120,29 +125,37 @@ func main() {
 	}
 
 	res, err := hetkg.Run(hetkg.RunConfig{
-		Graph:                   custom,
-		Dataset:                 *ds,
-		Scale:                   hetkg.ParseScale(*scale),
-		System:                  sys,
-		ModelName:               *mdl,
-		LossName:                *loss,
-		OptimizerName:           *optim,
-		Margin:                  float32(*margin),
-		Dim:                     *dim,
-		LR:                      float32(*lr),
-		Epochs:                  *epochs,
-		BatchSize:               *batch,
-		NegPerPos:               *negs,
-		ChunkSize:               *chunk,
-		Machines:                *machines,
-		WorkersPerMachine:       *workers,
-		PartitionerName:         *partName,
-		CacheCapacity:           *capacity,
-		CacheSyncEvery:          *syncP,
-		CachePrefetchD:          *preD,
-		EntityFraction:          *entFrac,
-		NoHeterogeneity:         *noHet,
-		ShardAddrs:              shardAddrs,
+		Graph:             custom,
+		Dataset:           *ds,
+		Scale:             hetkg.ParseScale(*scale),
+		System:            sys,
+		ModelName:         *mdl,
+		LossName:          *loss,
+		OptimizerName:     *optim,
+		Margin:            float32(*margin),
+		Dim:               *dim,
+		LR:                float32(*lr),
+		Epochs:            *epochs,
+		BatchSize:         *batch,
+		NegPerPos:         *negs,
+		ChunkSize:         *chunk,
+		Machines:          *machines,
+		WorkersPerMachine: *workers,
+		PartitionerName:   *partName,
+		CacheCapacity:     *capacity,
+		CacheSyncEvery:    *syncP,
+		CachePrefetchD:    *preD,
+		EntityFraction:    *entFrac,
+		NoHeterogeneity:   *noHet,
+		ShardAddrs:        shardAddrs,
+		JoinAddr:          *join,
+		HeartbeatInterval: *hbEvery,
+		CkptDir:           *ckptDir,
+		RecoverFrom:       *recoverD,
+		CkptEvery:         *ckptN,
+		ClusterLogf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 		Codec:                   *codec,
 		TopKRatio:               *topk,
 		Resume:                  resume,

@@ -265,8 +265,21 @@ type KNNScratch = knn.Scratch
 
 // ShardAcceptor serves a PS shard with graceful shutdown: close the
 // listener to stop accepting, then Shutdown(grace) to drain in-flight
-// connections before force-closing stragglers.
+// connections before force-closing stragglers. Set its Coordinator field
+// to make the shard the cluster coordinator (DESIGN.md §11).
 type ShardAcceptor = ps.Acceptor
+
+// ClusterMembership is the coordinator's membership state machine: worker
+// registration, heartbeats with failure detection, and partition
+// reassignment for the elastic multi-process cluster (DESIGN.md §11).
+type ClusterMembership = ps.Membership
+
+// MemberConfig parameterizes NewMembership.
+type MemberConfig = ps.MemberConfig
+
+// NewMembership builds a cluster coordinator; install it on a
+// ShardAcceptor's Coordinator field before serving.
+func NewMembership(cfg MemberConfig) (*ClusterMembership, error) { return ps.NewMembership(cfg) }
 
 // QueryServer is the online inference server: it answers triple-scoring,
 // link-prediction, and embedding-similarity queries over a trained

@@ -1,0 +1,159 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+func sampleProgress() *Progress {
+	return &Progress{
+		Partition: 2,
+		Epoch:     3,
+		Iteration: 17,
+		Dataset:   "fb15k-like",
+		Seed:      42,
+	}
+}
+
+func TestProgressRoundTrip(t *testing.T) {
+	p := sampleProgress()
+	var buf bytes.Buffer
+	if err := WriteProgress(&buf, p); err != nil {
+		t.Fatalf("WriteProgress: %v", err)
+	}
+	got, err := ReadProgress(&buf)
+	if err != nil {
+		t.Fatalf("ReadProgress: %v", err)
+	}
+	if *got != *p {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestProgressFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := sampleProgress()
+	if err := WriteProgressFile(dir, p); err != nil {
+		t.Fatalf("WriteProgressFile: %v", err)
+	}
+	got, err := ReadProgressFile(dir, p.Partition)
+	if err != nil {
+		t.Fatalf("ReadProgressFile: %v", err)
+	}
+	if *got != *p {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+	// Overwrite with later progress; the rename must replace in place with
+	// no temp litter.
+	p.Iteration = 40
+	if err := WriteProgressFile(dir, p); err != nil {
+		t.Fatalf("WriteProgressFile overwrite: %v", err)
+	}
+	got, err = ReadProgressFile(dir, p.Partition)
+	if err != nil {
+		t.Fatalf("ReadProgressFile after overwrite: %v", err)
+	}
+	if got.Iteration != 40 {
+		t.Errorf("Iteration = %d after overwrite, want 40", got.Iteration)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+// TestProgressMissingIsNotCorrupt pins the missing-vs-corrupt distinction:
+// a partition that never checkpointed is os.IsNotExist, not ErrCorrupt, so
+// adopters can treat the two cases differently (silent fresh start vs
+// counted cluster.ckpt_corrupt fallback).
+func TestProgressMissingIsNotCorrupt(t *testing.T) {
+	_, err := ReadProgressFile(t.TempDir(), 0)
+	if err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+	if !os.IsNotExist(err) {
+		t.Errorf("missing snapshot error = %v, want os.IsNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("missing snapshot reported as corrupt")
+	}
+}
+
+// TestProgressCorruptTyped feeds every corruption mode — partial writes at
+// each boundary, flipped checksum, garbage, provenance-implausible bodies —
+// and requires a typed ErrCorrupt (and, implicitly, no panic) from each.
+func TestProgressCorruptTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProgress(&buf, sampleProgress()); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.String()
+	cases := map[string]string{
+		"empty":              "",
+		"partial magic":      whole[:5],
+		"magic only":         progMagic,
+		"torn body":          whole[:len(progMagic)+4],
+		"missing checksum":   strings.TrimSuffix(whole, "\n")[:len(whole)-10],
+		"garbage":            "not a snapshot at all\n",
+		"wrong magic":        "HETKG-PROG-v9\n" + whole[len(progMagic):],
+		"checksum mismatch":  strings.Replace(whole, `"epoch":3`, `"epoch":4`, 1),
+		"unreadable sum":     whole[:len(whole)-9] + "zzzzzzzz\n",
+		"implausible fields": corruptBody(t, &Progress{Partition: -1, Epoch: 1}),
+		"zero epoch":         corruptBody(t, &Progress{Partition: 0, Epoch: 0}),
+	}
+	for name, raw := range cases {
+		if _, err := ReadProgress(strings.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// corruptBody writes p with a valid checksum so only the field validation
+// can reject it.
+func corruptBody(t *testing.T, p *Progress) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteProgress(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestProgressFilePartitionMismatch guards the path/content contract: a
+// snapshot renamed onto another partition's path is corrupt, not adopted.
+func TestProgressFilePartitionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p := sampleProgress()
+	if err := WriteProgressFile(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(ProgressPath(dir, p.Partition), ProgressPath(dir, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProgressFile(dir, 7); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mismatched partition error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestProgressFileTorn simulates a crash mid-write by truncating the
+// installed file at every prefix length; no panic, always ErrCorrupt.
+func TestProgressFileTorn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProgress(&buf, sampleProgress()); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	dir := t.TempDir()
+	path := ProgressPath(dir, 2)
+	for cut := 0; cut < len(whole); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadProgressFile(dir, 2); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: error = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}

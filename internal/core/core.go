@@ -125,6 +125,31 @@ type RunConfig struct {
 	// TCP instead of hosting the shards in this process. Must have exactly
 	// Machines entries.
 	ShardAddrs []string
+	// JoinAddr, when non-empty, runs this process as an elastic cluster
+	// worker: it registers with the coordinator shard at this address,
+	// discovers the shard fleet from the join reply, trains whichever
+	// partitions the coordinator assigns (heartbeating, snapshotting
+	// progress, adopting dead workers' partitions), and returns when every
+	// partition has completed every epoch. LocalMachines become the
+	// preferred partitions of the registration. Mutually exclusive with
+	// ShardAddrs (the fleet comes from the coordinator) and Resume.
+	JoinAddr string
+	// HeartbeatInterval overrides the coordinator-advertised heartbeat
+	// cadence in elastic mode (0 = use the advertised value).
+	HeartbeatInterval time.Duration
+	// CkptDir, when non-empty, receives per-partition progress snapshots
+	// for elastic crash recovery. RecoverFrom is where adopted partitions
+	// look for snapshots ("" = CkptDir); CkptEvery is the snapshot
+	// iteration interval (0 = 16).
+	CkptDir     string
+	RecoverFrom string
+	CkptEvery   int
+	// WorkerLabel identifies this process in coordinator logs (default
+	// hostname:pid).
+	WorkerLabel string
+	// ClusterLogf, when non-nil, receives worker-side cluster events
+	// (joins, adoptions, heartbeat trouble) in elastic mode.
+	ClusterLogf func(format string, args ...any)
 
 	// EvalEvery/EvalCandidates/EvalMax control validation scoring.
 	EvalEvery      int
@@ -284,6 +309,14 @@ func Run(rc RunConfig) (*train.Result, error) {
 		rc.CacheCapacity = (g.NumEntity + g.NumRel) / 20
 	}
 
+	if rc.JoinAddr != "" {
+		if len(rc.ShardAddrs) > 0 {
+			return nil, fmt.Errorf("core: JoinAddr and ShardAddrs are mutually exclusive (the coordinator advertises the fleet)")
+		}
+		if rc.Resume != nil {
+			return nil, fmt.Errorf("core: Resume is not supported in elastic mode (shard processes hold the state)")
+		}
+	}
 	if rc.Resume != nil {
 		if len(rc.ShardAddrs) > 0 {
 			return nil, fmt.Errorf("core: Resume is not supported with remote shards")
@@ -373,7 +406,12 @@ func Run(rc RunConfig) (*train.Result, error) {
 		spans = span.NewCollector(span.CollectorConfig{Every: rc.SpanEvery})
 		tc.Spans = spans
 	}
-	res, err := runSystem(rc.System, tc)
+	var res *train.Result
+	if rc.JoinAddr != "" {
+		res, err = runElastic(rc, tc)
+	} else {
+		res, err = runSystem(rc.System, tc)
+	}
 	if timelineFile != nil {
 		if cerr := timelineFile.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("core: closing timeline: %w", cerr)

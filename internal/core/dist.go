@@ -4,13 +4,16 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 
+	"hetkg/internal/cache"
 	"hetkg/internal/dataset"
 	"hetkg/internal/kg"
 	"hetkg/internal/model"
 	"hetkg/internal/opt"
 	"hetkg/internal/partition"
 	"hetkg/internal/ps"
+	"hetkg/internal/train"
 )
 
 // Multi-process deployment: every process — the trainer and each
@@ -75,6 +78,67 @@ func clusterSpec(rc RunConfig) (ps.ClusterConfig, error) {
 
 // serveShard runs a shard's accept loop (mirrors cmd/hetkg-ps's serving).
 func serveShard(l net.Listener, s *ps.Server) { ps.ServeTCP(l, s) }
+
+// runElastic joins the cluster at rc.JoinAddr and trains whatever the
+// coordinator assigns (Run's elastic-mode dispatch). The registration
+// happens here rather than in train.TrainElastic because the join reply's
+// shard list is needed to build the transport.
+func runElastic(rc RunConfig, tc train.Config) (*train.Result, error) {
+	switch rc.System {
+	case SystemDGLKE, SystemHETKGC, SystemHETKGD:
+	default:
+		return nil, fmt.Errorf("core: system %q does not support elastic mode", rc.System)
+	}
+	label := rc.WorkerLabel
+	if label == "" {
+		host, _ := os.Hostname()
+		label = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	// Bound each membership round trip relative to the heartbeat cadence,
+	// so a dead coordinator surfaces within a few intervals.
+	cc, err := ps.DialCoordinator(rc.JoinAddr, 3*rc.HeartbeatInterval)
+	if err != nil {
+		return nil, err
+	}
+	defer cc.Close()
+	join, err := cc.Join(ps.JoinRequest{Label: label, Preferred: rc.LocalMachines})
+	if err != nil {
+		return nil, fmt.Errorf("core: joining cluster at %s: %w", rc.JoinAddr, err)
+	}
+	if join.Partitions != rc.Machines {
+		return nil, fmt.Errorf("core: coordinator runs %d partitions, -machines says %d (all processes must share the run configuration)",
+			join.Partitions, rc.Machines)
+	}
+	if len(join.ShardAddrs) != rc.Machines {
+		return nil, fmt.Errorf("core: coordinator advertised %d shard addresses for %d machines",
+			len(join.ShardAddrs), rc.Machines)
+	}
+	codec := rc.Codec
+	if codec == "" && rc.Quantize8Bit {
+		codec = ps.ProfileInt8
+	}
+	addrs := join.ShardAddrs
+	tc.NewTransport = func(*ps.Cluster) (ps.Transport, error) {
+		return ps.DialTCPCodec(addrs, codec)
+	}
+	switch rc.System {
+	case SystemHETKGC:
+		tc.Cache.Strategy = cache.CPS
+	case SystemHETKGD:
+		tc.Cache.Strategy = cache.DPS
+	}
+	return train.TrainElastic(tc, train.ElasticConfig{
+		Coordinator:    cc,
+		Join:           join,
+		Label:          label,
+		HeartbeatEvery: rc.HeartbeatInterval,
+		CkptDir:        rc.CkptDir,
+		RecoverFrom:    rc.RecoverFrom,
+		CkptEvery:      rc.CkptEvery,
+		NoCache:        rc.System == SystemDGLKE,
+		Logf:           rc.ClusterLogf,
+	})
+}
 
 // BuildShard constructs the single parameter-server shard that machine m of
 // the given run owns — what a cmd/hetkg-ps process hosts.

@@ -120,4 +120,29 @@ const (
 	MServeBatches = "serve.batches"
 	// MServeBatchSize is the histogram of predictions coalesced per sweep.
 	MServeBatchSize = "serve.batch_size"
+
+	// MClusterWorkers is the coordinator's count of live registered worker
+	// processes (gauge, refreshed on every membership RPC).
+	MClusterWorkers = "cluster.workers"
+	// MClusterPartsUnassigned is the coordinator's count of partitions with
+	// work remaining but no live owner (gauge; nonzero between a worker
+	// failure and the next rebalance-carrying heartbeat).
+	MClusterPartsUnassigned = "cluster.partitions_unassigned"
+	// MClusterHeartbeats counts heartbeat RPCs the coordinator received.
+	MClusterHeartbeats = "cluster.heartbeats"
+	// MClusterWorkerFailures counts workers expired by heartbeat timeout
+	// (crashes as seen by the coordinator; graceful leaves do not count).
+	MClusterWorkerFailures = "cluster.worker_failures"
+	// MClusterReassigns counts partition ownership moves performed by the
+	// coordinator (cold-start spreading plus post-failure adoption).
+	MClusterReassigns = "cluster.reassignments"
+
+	// MClusterCkptWrites counts partition progress snapshots a worker wrote.
+	MClusterCkptWrites = "cluster.ckpt_writes"
+	// MClusterCkptResumes counts partitions a worker adopted mid-run and
+	// resumed from a progress snapshot or coordinator hint.
+	MClusterCkptResumes = "cluster.ckpt_resumes"
+	// MClusterCkptCorrupt counts progress snapshots rejected as corrupt or
+	// truncated at resume (the worker falls back to the coordinator's hint).
+	MClusterCkptCorrupt = "cluster.ckpt_corrupt"
 )

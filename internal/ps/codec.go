@@ -58,7 +58,7 @@ const (
 	// ~2^-11 relative rounding error).
 	ProfileFP16 = "fp16"
 	// ProfileInt8 ships 8-bit linearly quantized rows both ways (4×
-	// smaller, per-row scale; the former QuantizedTransport).
+	// smaller, per-row scale; what core.RunConfig.Quantize8Bit selects).
 	ProfileInt8 = "int8"
 	// ProfileDeltaInt8 pulls int8-quantized deltas against the version the
 	// worker already holds (update norms shrink as training converges, so
@@ -182,8 +182,8 @@ func ChooseProfile(rtt time.Duration, bandwidthBps float64) string {
 // fp32Codec is the exact pass-through: 4 bytes per value, little-endian.
 type fp32Codec struct{}
 
-func (fp32Codec) Name() string         { return "fp32" }
-func (fp32Codec) Lossy() bool          { return false }
+func (fp32Codec) Name() string          { return "fp32" }
+func (fp32Codec) Lossy() bool           { return false }
 func (fp32Codec) MaxRowBytes(w int) int { return 4 * w }
 
 func (fp32Codec) EncodeRow(dst []byte, row []float32) []byte {
@@ -208,8 +208,8 @@ func (fp32Codec) DecodeRow(row []float32, src []byte) ([]byte, error) {
 // finite; the shard drops non-finite rows anyway).
 type fp16Codec struct{}
 
-func (fp16Codec) Name() string         { return "fp16" }
-func (fp16Codec) Lossy() bool          { return true }
+func (fp16Codec) Name() string          { return "fp16" }
+func (fp16Codec) Lossy() bool           { return true }
 func (fp16Codec) MaxRowBytes(w int) int { return 2 * w }
 
 func (fp16Codec) EncodeRow(dst []byte, row []float32) []byte {
@@ -303,8 +303,8 @@ func f16ToF32(h uint16) float32 {
 // maxAbs/254 per value.
 type int8Codec struct{}
 
-func (int8Codec) Name() string         { return "int8" }
-func (int8Codec) Lossy() bool          { return true }
+func (int8Codec) Name() string          { return "int8" }
+func (int8Codec) Lossy() bool           { return true }
 func (int8Codec) MaxRowBytes(w int) int { return 4 + w }
 
 func (int8Codec) EncodeRow(dst []byte, row []float32) []byte {
@@ -359,8 +359,8 @@ func sign(v float32) float32 {
 // gradient exchange. Row widths are capped at 65535 by the index width.
 type sparseCodec struct{}
 
-func (sparseCodec) Name() string         { return "sparse" }
-func (sparseCodec) Lossy() bool          { return false }
+func (sparseCodec) Name() string          { return "sparse" }
+func (sparseCodec) Lossy() bool           { return false }
 func (sparseCodec) MaxRowBytes(w int) int { return 2 + 6*w }
 
 func (sparseCodec) EncodeRow(dst []byte, row []float32) []byte {

@@ -22,9 +22,6 @@ import (
 // (process, shard) pair: all of a process's workers share one delta base
 // per shard. A mutex serializes calls (the deterministic trainers drive
 // workers serially anyway).
-//
-// It replaces the former QuantizedTransport, whose int8 path survives as
-// the "int8" profile.
 type CodecTransport struct {
 	mu     sync.Mutex
 	inner  Transport

@@ -1,0 +1,301 @@
+package ps
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"hetkg/internal/metrics"
+)
+
+// fakeClock is a manually-advanced clock for deterministic failure
+// detection tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func clockConfig(c *fakeClock, parts int) MemberConfig {
+	return MemberConfig{
+		Partitions:     parts,
+		ShardAddrs:     []string{"a:1", "b:2"},
+		HeartbeatEvery: time.Second,
+		Now:            c.Now,
+	}
+}
+
+func TestMembershipJoinGrantsPreferredAndSpreads(t *testing.T) {
+	clk := newFakeClock()
+	m, err := NewMembership(clockConfig(clk, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := m.Join(JoinRequest{Label: "w1", Preferred: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sole worker: preferred granted, orphans spread to it too.
+	if len(j1.Assignments) != 4 {
+		t.Fatalf("sole worker got %d assignments, want all 4: %+v", len(j1.Assignments), j1.Assignments)
+	}
+	if len(j1.ShardAddrs) != 2 || j1.ShardAddrs[0] != "a:1" {
+		t.Errorf("ShardAddrs = %v", j1.ShardAddrs)
+	}
+	if j1.Partitions != 4 || j1.HeartbeatEvery != time.Second {
+		t.Errorf("reply metadata = %+v", j1)
+	}
+
+	// Second worker joins before any partition started: bounded preemption
+	// moves un-started partitions until loads are within 1.
+	j2, err := m.Join(JoinRequest{Label: "w2", Preferred: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j2.Assignments) != 2 {
+		t.Fatalf("second worker got %d assignments, want 2: %+v", len(j2.Assignments), j2.Assignments)
+	}
+	snap := m.Snapshot()
+	if snap.Workers != 2 || snap.Unassigned != 0 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestMembershipNoPreemptionOfStartedPartitions(t *testing.T) {
+	clk := newFakeClock()
+	m, err := NewMembership(clockConfig(clk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := m.Join(JoinRequest{Label: "w1"})
+	// w1 reports progress on both partitions: they are now started.
+	hb, err := m.Heartbeat(HeartbeatRequest{WorkerID: j1.WorkerID, Progress: []PartitionProgress{
+		{Partition: 0, Epoch: 1, Iteration: 5},
+		{Partition: 1, Epoch: 1, Iteration: 5},
+	}})
+	if err != nil || len(hb.Assignments) != 2 {
+		t.Fatalf("heartbeat: %v, assignments %+v", err, hb.Assignments)
+	}
+	j2, err := m.Join(JoinRequest{Label: "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j2.Assignments) != 0 {
+		t.Errorf("started partitions were preempted: %+v", j2.Assignments)
+	}
+}
+
+// TestMembershipHeartbeatTimeout is the fake-clock failure-detection test:
+// a worker that stops heartbeating past WorkerTimeout is expired on the
+// next membership RPC, its partitions move to a live worker with the last
+// progress heard, and a late heartbeat from the expired worker reports
+// Unknown so it re-joins.
+func TestMembershipHeartbeatTimeout(t *testing.T) {
+	clk := newFakeClock()
+	cfg := clockConfig(clk, 2)
+	cfg.WorkerTimeout = 3 * time.Second
+	m, err := NewMembership(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	m.Instrument(reg)
+
+	j1, _ := m.Join(JoinRequest{Label: "w1", Preferred: []int{0}})
+	j2, _ := m.Join(JoinRequest{Label: "w2", Preferred: []int{1}})
+
+	// Both beat at t+1s to learn their post-rebalance partitions; w1 then
+	// reports progress on whichever partition it actually holds.
+	clk.advance(time.Second)
+	hb1, err := m.Heartbeat(HeartbeatRequest{WorkerID: j1.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb1.Assignments) != 1 {
+		t.Fatalf("w1 assignments = %+v, want 1 after the second join", hb1.Assignments)
+	}
+	w1part := hb1.Assignments[0].Partition
+	if _, err := m.Heartbeat(HeartbeatRequest{WorkerID: j1.WorkerID, Progress: []PartitionProgress{
+		{Partition: w1part, Epoch: 2, Iteration: 7},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Heartbeat(HeartbeatRequest{WorkerID: j2.WorkerID}); err != nil {
+		t.Fatal(err)
+	}
+
+	// w1 goes silent. Just inside the timeout nothing happens.
+	clk.advance(3 * time.Second)
+	hb, err := m.Heartbeat(HeartbeatRequest{WorkerID: j2.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Assignments) != 1 {
+		t.Fatalf("w2 assignments before expiry = %+v", hb.Assignments)
+	}
+
+	// One more second: w1 is past the timeout; w2's next beat sweeps it and
+	// adopts w1's partition at the last reported position.
+	clk.advance(time.Second)
+	hb, err = m.Heartbeat(HeartbeatRequest{WorkerID: j2.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Assignments) != 2 {
+		t.Fatalf("w2 assignments after expiry = %+v", hb.Assignments)
+	}
+	for _, a := range hb.Assignments {
+		if a.Partition == w1part && (a.Epoch != 2 || a.Iteration != 7) {
+			t.Errorf("partition %d resume hint = epoch %d iter %d, want 2/7", w1part, a.Epoch, a.Iteration)
+		}
+	}
+	if got := reg.Counter(metrics.MClusterWorkerFailures).Value(); got != 1 {
+		t.Errorf("cluster.worker_failures = %d, want 1", got)
+	}
+
+	// The late heartbeat from the expired worker is told to re-join.
+	late, err := m.Heartbeat(HeartbeatRequest{WorkerID: j1.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !late.Unknown {
+		t.Error("expired worker's heartbeat not flagged Unknown")
+	}
+}
+
+func TestMembershipGracefulLeaveReassignsImmediately(t *testing.T) {
+	clk := newFakeClock()
+	m, err := NewMembership(clockConfig(clk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := m.Join(JoinRequest{Label: "w1", Preferred: []int{0}})
+	j2, _ := m.Join(JoinRequest{Label: "w2", Preferred: []int{1}})
+	hb1, err := m.Heartbeat(HeartbeatRequest{WorkerID: j1.WorkerID})
+	if err != nil || len(hb1.Assignments) != 1 {
+		t.Fatalf("w1 heartbeat: %v, assignments %+v", err, hb1.Assignments)
+	}
+	w1part := hb1.Assignments[0].Partition
+	if err := m.Leave(LeaveRequest{WorkerID: j1.WorkerID, Progress: []PartitionProgress{
+		{Partition: w1part, Epoch: 3, Iteration: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// No timeout wait: w2's next beat already owns both partitions.
+	hb, err := m.Heartbeat(HeartbeatRequest{WorkerID: j2.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Assignments) != 2 {
+		t.Fatalf("assignments after leave = %+v", hb.Assignments)
+	}
+	for _, a := range hb.Assignments {
+		if a.Partition == w1part && a.Epoch != 3 {
+			t.Errorf("leave progress lost: %+v", a)
+		}
+	}
+}
+
+func TestMembershipDonePartitionsFinishTheRun(t *testing.T) {
+	clk := newFakeClock()
+	m, err := NewMembership(clockConfig(clk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := m.Join(JoinRequest{Label: "w"})
+	hb, err := m.Heartbeat(HeartbeatRequest{WorkerID: j.WorkerID, Progress: []PartitionProgress{
+		{Partition: 0, Done: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.AllDone {
+		t.Error("AllDone with one partition still running")
+	}
+	if len(hb.Assignments) != 1 || hb.Assignments[0].Partition != 1 {
+		t.Errorf("assignments = %+v, want only partition 1", hb.Assignments)
+	}
+	hb, err = m.Heartbeat(HeartbeatRequest{WorkerID: j.WorkerID, Progress: []PartitionProgress{
+		{Partition: 0, Done: true}, // idempotent re-report
+		{Partition: 1, Done: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hb.AllDone {
+		t.Error("AllDone not reported after every partition finished")
+	}
+	if !m.AllDone() {
+		t.Error("Membership.AllDone() disagrees")
+	}
+}
+
+// TestCoordClientOverTCP drives the membership protocol through the real
+// gob TCP wire: a shard Acceptor hosting a Membership, a CoordClient
+// dialing it, and join/heartbeat/leave round trips — plus the readable
+// refusal from a shard that is not the coordinator.
+func TestCoordClientOverTCP(t *testing.T) {
+	cluster := testCluster(t, 2)
+	m, err := NewMembership(MemberConfig{Partitions: 2, ShardAddrs: []string{"x:1", "y:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func(coord *Membership) (addr string, stop func()) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := &Acceptor{Coordinator: coord}
+		done := make(chan struct{})
+		go func() {
+			acc.Serve(l, cluster.Servers[0])
+			close(done)
+		}()
+		return l.Addr().String(), func() {
+			l.Close()
+			acc.Shutdown(time.Second)
+			<-done
+		}
+	}
+
+	addr, stop := serve(m)
+	defer stop()
+
+	cc, err := DialCoordinator(addr, time.Second)
+	if err != nil {
+		t.Fatalf("DialCoordinator: %v", err)
+	}
+	defer cc.Close()
+	join, err := cc.Join(JoinRequest{Label: "tcp-worker", Preferred: []int{0, 1}})
+	if err != nil {
+		t.Fatalf("Join over TCP: %v", err)
+	}
+	if len(join.Assignments) != 2 || len(join.ShardAddrs) != 2 {
+		t.Fatalf("join reply = %+v", join)
+	}
+	hb, err := cc.Heartbeat(HeartbeatRequest{WorkerID: join.WorkerID, Progress: []PartitionProgress{
+		{Partition: 0, Done: true},
+		{Partition: 1, Done: true},
+	}})
+	if err != nil {
+		t.Fatalf("Heartbeat over TCP: %v", err)
+	}
+	if !hb.AllDone {
+		t.Error("AllDone lost over the wire")
+	}
+	if err := cc.Leave(LeaveRequest{WorkerID: join.WorkerID}); err != nil {
+		t.Fatalf("Leave over TCP: %v", err)
+	}
+
+	// A plain shard (no coordinator) refuses membership ops by name.
+	addr2, stop2 := serve(nil)
+	defer stop2()
+	cc2, err := DialCoordinator(addr2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc2.Close()
+	if _, err := cc2.Join(JoinRequest{Label: "lost-worker"}); err == nil {
+		t.Error("non-coordinator shard accepted a join")
+	}
+}

@@ -85,6 +85,11 @@ type Acceptor struct {
 	// will negotiate; hellos naming others are refused at handshake.
 	AllowCodecs []string
 
+	// Coordinator, when non-nil, makes this shard the cluster coordinator:
+	// membership ops ('J'/'H'/'L') on its connections are served from this
+	// Membership. Shards without one refuse membership ops by name.
+	Coordinator *Membership
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -105,7 +110,7 @@ func (a *Acceptor) Serve(l net.Listener, srv *Server) {
 		}
 		go func() {
 			defer a.untrack(conn)
-			serveConn(conn, srv, a.AllowCodecs)
+			serveConn(conn, srv, a.AllowCodecs, a.Coordinator)
 		}()
 	}
 }
@@ -212,7 +217,7 @@ func handshakeServer(dec *gob.Decoder, enc *gob.Encoder, bw *bufio.Writer, srv *
 	return prof, err
 }
 
-func serveConn(conn net.Conn, srv *Server, allow []string) {
+func serveConn(conn net.Conn, srv *Server, allow []string, coord *Membership) {
 	defer conn.Close()
 	if o := srv.obs; o != nil {
 		o.tcpConns.Inc()
@@ -265,6 +270,8 @@ func serveConn(conn net.Conn, srv *Server, allow []string) {
 			if err := srv.PushTraced(sc, req.Keys, vals); err != nil {
 				resp.Err = err.Error()
 			}
+		case opJoin, opHeartbeat, opLeave:
+			serveMember(coord, &req, &resp)
 		default:
 			resp.Err = fmt.Sprintf("ps: unknown op %q", req.Op)
 		}

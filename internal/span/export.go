@@ -177,8 +177,11 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 	})
 	for _, r := range rows {
 		pname := fmt.Sprintf("machine-%d", r.machine)
-		if r.machine == MachineTransport {
+		switch r.machine {
+		case MachineTransport:
 			pname = "transport"
+		case MachineCluster:
+			pname = "cluster"
 		}
 		tname := fmt.Sprintf("worker-%d", r.worker)
 		switch r.worker {
@@ -186,6 +189,8 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			tname = "ps-shard"
 		case WorkerTransport:
 			tname = "transport"
+		case WorkerCluster:
+			tname = "cluster"
 		}
 		doc.TraceEvents = append(doc.TraceEvents,
 			chromeEvent{Name: "process_name", Ph: "M", Pid: ChromePid(r.machine), Tid: ChromeTid(r.worker),

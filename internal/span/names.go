@@ -44,6 +44,16 @@ const (
 	// pushed gradients through the shard optimizer.
 	NShardApply = "shard.apply"
 
+	// NClusterHeartbeat covers one membership heartbeat round trip from an
+	// elastic worker process to the coordinator (progress report out,
+	// assignment set back).
+	NClusterHeartbeat = "cluster.heartbeat"
+	// NClusterRecover covers adopting one partition mid-run: reading its
+	// progress snapshot (or falling back to the coordinator's hint),
+	// building the partition's worker, and fast-forwarding its sampler to
+	// the resume point.
+	NClusterRecover = "cluster.recover"
+
 	// NServeRequest is the root span of one sampled serving request
 	// (hetkg-serve), the inference-time counterpart of NBatch.
 	NServeRequest = "serve.request"

@@ -50,6 +50,11 @@ const (
 	// serialization/wire spans sit on a dedicated row.
 	MachineTransport = -1
 	WorkerTransport  = -2
+	// MachineCluster and WorkerCluster mark the elastic cluster driver's
+	// tracer: heartbeats and partition recoveries belong to the worker
+	// process as a whole, not to one partition's training row.
+	MachineCluster = -2
+	WorkerCluster  = -3
 )
 
 // Context is the causal coordinate a span hands to its children: the trace

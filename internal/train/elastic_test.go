@@ -1,0 +1,169 @@
+package train
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"hetkg/internal/ckpt"
+	"hetkg/internal/metrics"
+	"hetkg/internal/ps"
+)
+
+// elasticMembership builds an in-process coordinator with a fast heartbeat
+// so tests finish quickly.
+func elasticMembership(t *testing.T, parts int) *ps.Membership {
+	t.Helper()
+	m, err := ps.NewMembership(ps.MemberConfig{
+		Partitions:     parts,
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestElasticSingleWorkerTrains(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Dataset = "traintest"
+	m := elasticMembership(t, 2)
+	res, err := TrainElastic(cfg, ElasticConfig{Coordinator: m, Label: "solo"})
+	if err != nil {
+		t.Fatalf("TrainElastic: %v", err)
+	}
+	if res.System != "HET-KG-C/elastic" {
+		t.Errorf("System = %q", res.System)
+	}
+	if len(res.Epochs) != cfg.Epochs {
+		t.Fatalf("recorded %d epochs, want %d", len(res.Epochs), cfg.Epochs)
+	}
+	first, last := res.Epochs[0].Loss, res.Epochs[len(res.Epochs)-1].Loss
+	if last >= first {
+		t.Errorf("loss did not decrease: %.4f → %.4f", first, last)
+	}
+	if res.Final.MRR < 0.15 {
+		t.Errorf("final MRR = %.3f, want > 0.15", res.Final.MRR)
+	}
+	if !m.AllDone() {
+		t.Error("coordinator does not agree the run finished")
+	}
+}
+
+// TestElasticResumeFromSnapshot pre-seeds the checkpoint directory as a
+// crashed worker would have left it — partition 0 fully done, partition 1
+// mid-run — and asserts the adopting process resumes rather than restarts,
+// leaves fresh Done snapshots behind, and still completes the run.
+func TestElasticResumeFromSnapshot(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Dataset = "traintest"
+	cfg.Metrics = metrics.NewRegistry()
+	dir := t.TempDir()
+	writeProg := func(p ckpt.Progress) {
+		t.Helper()
+		if err := ckpt.WriteProgressFile(dir, &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeProg(ckpt.Progress{Partition: 0, Epoch: cfg.Epochs, Done: true,
+		Dataset: cfg.Dataset, Seed: cfg.Seed})
+	writeProg(ckpt.Progress{Partition: 1, Epoch: 2, Iteration: 1,
+		Dataset: cfg.Dataset, Seed: cfg.Seed})
+
+	m := elasticMembership(t, 2)
+	res, err := TrainElastic(cfg, ElasticConfig{
+		Coordinator: m, Label: "resumer", CkptDir: dir, CkptEvery: 4,
+	})
+	if err != nil {
+		t.Fatalf("TrainElastic: %v", err)
+	}
+	if res.Final.MRR <= 0 {
+		t.Errorf("final MRR = %.3f after resume", res.Final.MRR)
+	}
+	if got := cfg.Metrics.Counter(metrics.MClusterCkptResumes).Value(); got < 1 {
+		t.Errorf("cluster.ckpt_resumes = %d, want >= 1", got)
+	}
+	if got := cfg.Metrics.Counter(metrics.MClusterCkptWrites).Value(); got < 1 {
+		t.Errorf("cluster.ckpt_writes = %d, want >= 1", got)
+	}
+	// The run's own snapshots must mark partition 1 done at the end.
+	snap, err := ckpt.ReadProgressFile(dir, 1)
+	if err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	if !snap.Done {
+		t.Errorf("final snapshot for partition 1 = %+v, want Done", snap)
+	}
+}
+
+// TestElasticIgnoresForeignAndCorruptSnapshots: a snapshot from another
+// run's seed and a truncated file are both skipped (counted as corrupt) and
+// training starts from the coordinator's hint instead of failing.
+func TestElasticIgnoresForeignAndCorruptSnapshots(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Dataset = "traintest"
+	cfg.Metrics = metrics.NewRegistry()
+	dir := t.TempDir()
+	if err := ckpt.WriteProgressFile(dir, &ckpt.Progress{
+		Partition: 0, Epoch: 2, Dataset: cfg.Dataset, Seed: cfg.Seed + 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt.ProgressPath(dir, 1),
+		[]byte("HETKG-PROG-v1\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := elasticMembership(t, 2)
+	res, err := TrainElastic(cfg, ElasticConfig{
+		Coordinator: m, Label: "skeptic", RecoverFrom: dir,
+	})
+	if err != nil {
+		t.Fatalf("TrainElastic: %v", err)
+	}
+	if got := cfg.Metrics.Counter(metrics.MClusterCkptCorrupt).Value(); got != 2 {
+		t.Errorf("cluster.ckpt_corrupt = %d, want 2", got)
+	}
+	if len(res.Epochs) != cfg.Epochs {
+		t.Errorf("recorded %d epochs, want %d (full restart from epoch 1)", len(res.Epochs), cfg.Epochs)
+	}
+}
+
+// TestElasticTwoWorkersSplitThePartitions runs two elastic worker drivers
+// concurrently against one coordinator: each keeps its preferred partition,
+// both observe the cluster-wide completion, and neither errors.
+func TestElasticTwoWorkersSplitThePartitions(t *testing.T) {
+	m := elasticMembership(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	results := make([]*Result, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := testConfig(t, 2)
+			cfg.Dataset = "traintest"
+			results[i], errs[i] = TrainElastic(cfg, ElasticConfig{
+				Coordinator: m,
+				Label:       "peer",
+				Preferred:   []int{i},
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if !m.AllDone() {
+		t.Error("cluster did not finish")
+	}
+	for i, res := range results {
+		if res == nil || res.Final.MRR <= 0 {
+			t.Errorf("worker %d has no final evaluation: %+v", i, res)
+		}
+	}
+}

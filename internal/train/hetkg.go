@@ -27,14 +27,28 @@ func TrainHETKG(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	name := "HET-KG-C"
+	if cfg.Cache.Strategy == cache.DPS {
+		name = "HET-KG-D"
+	}
+	return runPSTraining(&cfg, env, workers, name, hetkgHook(&cfg))
+}
+
+// hetkgHook builds the HET-KG per-iteration hook: prefetch (Algorithm 1),
+// hot-table construction via filter (Algorithm 2), and the CPS/DPS build
+// policy. The hook is shared by the static trainer (TrainHETKG) and the
+// elastic driver, which installs it on workers it adopts mid-run — the
+// one-shot CPS build is keyed by worker id, so an adopted partition's
+// table is rebuilt once in its new process and then stays fixed.
+func hetkgHook(cfg *Config) func(*worker) error {
 	filterCfg := cache.FilterConfig{
 		Capacity:       cfg.Cache.Capacity,
 		EntityFraction: cfg.Cache.EntityFraction,
 		Heterogeneity:  cfg.Cache.Heterogeneity,
 	}
-	built := make(map[int]bool, len(workers)) // CPS: one build per worker
+	built := make(map[int]bool) // CPS: one build per worker
 
-	perIteration := func(w *worker) error {
+	return func(w *worker) error {
 		// Staleness synchronization (Algorithm 3 lines 8–9) is per-row:
 		// the cache expires entries older than P at Get time and the
 		// worker re-pulls them with its ordinary batch pull, so refresh
@@ -85,10 +99,4 @@ func TrainHETKG(cfg Config) (*Result, error) {
 		}
 		return nil
 	}
-
-	name := "HET-KG-C"
-	if cfg.Cache.Strategy == cache.DPS {
-		name = "HET-KG-D"
-	}
-	return runPSTraining(&cfg, env, workers, name, perIteration)
 }

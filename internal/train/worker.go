@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hetkg/internal/cache"
+	"hetkg/internal/kg"
 	"hetkg/internal/netsim"
 	"hetkg/internal/par"
 	"hetkg/internal/partition"
@@ -64,10 +65,110 @@ type worker struct {
 	accTotal, hitTotal float64
 }
 
+// workerBuilder constructs individual workers over the partitioned
+// subgraphs — the shared machinery of newWorkers (static deployments, all
+// workers up front) and the elastic driver (workers built and rebuilt as
+// the coordinator assigns partitions).
+type workerBuilder struct {
+	cfg       *Config
+	cluster   *ps.Cluster
+	subs      []*kg.Graph
+	tr        ps.Transport
+	tobs      *trainObs
+	prof      ps.Profile
+	withCache bool
+}
+
+// newWorkerBuilder prepares shared state for building workers. withCache
+// attaches a HotCache configured from cfg.Cache to each built worker.
+func newWorkerBuilder(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.Transport, withCache bool) (*workerBuilder, error) {
+	prof, err := ps.ResolveProfile(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	var tobs *trainObs
+	if cfg.Metrics != nil {
+		tobs = newTrainObs(cfg.Metrics)
+	}
+	return &workerBuilder{
+		cfg:       cfg,
+		cluster:   cluster,
+		subs:      part.Subgraphs(cfg.Graph),
+		tr:        tr,
+		tobs:      tobs,
+		prof:      prof,
+		withCache: withCache,
+	}, nil
+}
+
+// build constructs the worker with global id on machine m. The sampler seed
+// is a pure function of (cfg.Seed, id), so any process that builds worker
+// id — including one adopting the partition after its first owner died —
+// derives the identical batch stream and can resume it by fast-forward.
+func (b *workerBuilder) build(m, id int) (*worker, error) {
+	cfg := b.cfg
+	meter := &netsim.Meter{}
+	client, err := ps.NewClient(m, b.cluster, b.tr, meter)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Metrics != nil {
+		meter.Instrument(cfg.Metrics, cfg.CostModel)
+		client.Instrument(cfg.Metrics)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+	smp, err := sampler.New(sampler.Config{
+		BatchSize:       cfg.BatchSize,
+		NegPerPos:       cfg.NegPerPos,
+		ChunkSize:       cfg.ChunkSize,
+		NumEntity:       cfg.Graph.NumEntity,
+		Filter:          cfg.Filter,
+		NegativeWeights: cfg.NegativeWeights,
+	}, b.subs[m], rng)
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{
+		id:      id,
+		machine: m,
+		smp:     smp,
+		client:  client,
+		meter:   meter,
+		cfg:     cfg,
+		degree:  par.Degree(cfg.Parallelism),
+		rows:    make(map[ps.Key][]float32),
+		obs:     b.tobs,
+	}
+	if b.prof.SparsePush {
+		w.ef = newErrorFeedback(cfg.TopKRatio, cfg.Metrics)
+	}
+	if cfg.Spans != nil {
+		w.tracer = cfg.Spans.Tracer(m, id)
+		client.Trace(w.tracer)
+	}
+	if b.withCache {
+		hot, err := cache.New(client, cfg.NewOptimizer(), cfg.Cache.SyncEvery)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Metrics != nil {
+			hot.Instrument(cfg.Metrics)
+		}
+		if w.tracer != nil {
+			hot.Trace(w.tracer)
+		}
+		w.hot = hot
+	}
+	return w, nil
+}
+
 // newWorkers builds one worker per (machine, slot) over the partitioned
 // subgraphs. withCache attaches a HotCache configured from cfg.Cache.
 func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.Transport, withCache bool) ([]*worker, error) {
-	subs := part.Subgraphs(cfg.Graph)
+	b, err := newWorkerBuilder(cfg, cluster, part, tr, withCache)
+	if err != nil {
+		return nil, err
+	}
 	local := func(m int) bool {
 		if len(cfg.LocalMachines) == 0 {
 			return true
@@ -79,79 +180,22 @@ func newWorkers(cfg *Config, cluster *ps.Cluster, part *partition.Result, tr ps.
 		}
 		return false
 	}
-	var tobs *trainObs
-	if cfg.Metrics != nil {
-		tobs = newTrainObs(cfg.Metrics)
-	}
-	prof, err := ps.ResolveProfile(cfg.Codec)
-	if err != nil {
-		return nil, err
-	}
 	var workers []*worker
 	id := 0
 	for m := 0; m < cfg.NumMachines; m++ {
-		sub := subs[m]
 		if !local(m) {
 			id += cfg.WorkersPerMachine // keep worker seeds stable across deployments
 			continue
 		}
-		if sub.NumTriples() == 0 {
+		if b.subs[m].NumTriples() == 0 {
 			// A machine with no triples contributes no worker; its shard
 			// still serves pulls.
 			continue
 		}
 		for s := 0; s < cfg.WorkersPerMachine; s++ {
-			meter := &netsim.Meter{}
-			client, err := ps.NewClient(m, cluster, tr, meter)
+			w, err := b.build(m, id)
 			if err != nil {
 				return nil, err
-			}
-			if cfg.Metrics != nil {
-				meter.Instrument(cfg.Metrics, cfg.CostModel)
-				client.Instrument(cfg.Metrics)
-			}
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
-			smp, err := sampler.New(sampler.Config{
-				BatchSize:       cfg.BatchSize,
-				NegPerPos:       cfg.NegPerPos,
-				ChunkSize:       cfg.ChunkSize,
-				NumEntity:       cfg.Graph.NumEntity,
-				Filter:          cfg.Filter,
-				NegativeWeights: cfg.NegativeWeights,
-			}, sub, rng)
-			if err != nil {
-				return nil, err
-			}
-			w := &worker{
-				id:      id,
-				machine: m,
-				smp:     smp,
-				client:  client,
-				meter:   meter,
-				cfg:     cfg,
-				degree:  par.Degree(cfg.Parallelism),
-				rows:    make(map[ps.Key][]float32),
-				obs:     tobs,
-			}
-			if prof.SparsePush {
-				w.ef = newErrorFeedback(cfg.TopKRatio, cfg.Metrics)
-			}
-			if cfg.Spans != nil {
-				w.tracer = cfg.Spans.Tracer(m, id)
-				client.Trace(w.tracer)
-			}
-			if withCache {
-				hot, err := cache.New(client, cfg.NewOptimizer(), cfg.Cache.SyncEvery)
-				if err != nil {
-					return nil, err
-				}
-				if cfg.Metrics != nil {
-					hot.Instrument(cfg.Metrics)
-				}
-				if w.tracer != nil {
-					hot.Trace(w.tracer)
-				}
-				w.hot = hot
 			}
 			workers = append(workers, w)
 			id++

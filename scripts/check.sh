@@ -6,14 +6,18 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== doc-comment lint (internal/metrics + internal/serve exported symbols)"
+echo "== doc-comment lint (internal/metrics + internal/serve + internal/ckpt + cluster layer)"
 # Every top-level exported declaration in internal/metrics must carry a doc
 # comment: the package is the observability contract other layers (and
 # EXPERIMENTS.md) build on, so undocumented surface is a defect here.
 # internal/serve is held to the same bar — it is the outward-facing query
-# surface (hetkg-serve) and the hetkg facade aliases its types.
+# surface (hetkg-serve) and the hetkg facade aliases its types. So are
+# internal/ckpt (the recovery file formats operators depend on) and the
+# cluster membership/elastic layer (the wire protocol and driver that
+# OPERATIONS.md documents).
 undoc=$(
-    for f in internal/metrics/*.go internal/serve/*.go; do
+    for f in internal/metrics/*.go internal/serve/*.go internal/ckpt/*.go \
+            internal/ps/member.go internal/train/elastic.go; do
         case "$f" in *_test.go) continue ;; esac
         awk -v file="$f" '
             /^(func|type) [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^(var|const) [A-Z]/ {
@@ -43,6 +47,22 @@ for name in $(sed -n 's/.*= "\([a-z0-9_.]*\)"$/\1/p' internal/metrics/names.go);
 done
 if [ "$missing" -ne 0 ]; then
     echo "check: FAIL (undocumented metric names)"
+    exit 1
+fi
+
+echo "== OPERATIONS.md cluster metric coverage lint"
+# Every cluster.* metric in internal/metrics/names.go must appear in
+# OPERATIONS.md's troubleshooting table: the cluster series exist for the
+# operator, so one that the runbook cannot explain is a defect.
+missing=0
+for name in $(sed -n 's/.*= "\(cluster\.[a-z0-9_.]*\)"$/\1/p' internal/metrics/names.go); do
+    if ! grep -qF "$name" OPERATIONS.md; then
+        echo "OPERATIONS.md does not document cluster metric \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (cluster metrics missing from the runbook)"
     exit 1
 fi
 

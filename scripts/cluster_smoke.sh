@@ -1,0 +1,102 @@
+#!/bin/sh
+# Multi-process cluster smoke drill: 2 real hetkg-ps shards (one of them
+# the coordinator), 2 real hetkg-train elastic workers, SIGKILL one worker
+# mid-epoch, and verify the survivor adopts its partitions and finishes
+# the run. The scripted version of OPERATIONS.md's failure walkthrough;
+# CI runs it on every push and it must stay under a minute.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building binaries"
+go build -o "$tmp/hetkg-ps" ./cmd/hetkg-ps
+go build -o "$tmp/hetkg-train" ./cmd/hetkg-train
+
+# One fast, small run config, shared by every process (the deterministic
+# derivation demands it); trainers add the loop knobs shards don't take.
+# Aggressive timings so detection fits in seconds.
+addr0=127.0.0.1:17970
+addr1=127.0.0.1:17971
+cfg="-dataset fb15k -scale tiny -machines 2 -seed 42"
+traincfg="$cfg -system hetkg-c -epochs 6 -batch 16 -join $addr0 -ckpt-dir $tmp/ckpt -ckpt-every 4"
+
+echo "== starting shards (coordinator on $addr0)"
+# shellcheck disable=SC2086
+"$tmp/hetkg-ps" $cfg -machine 0 -listen "$addr0" \
+    -coordinator -shards "$addr0,$addr1" \
+    -heartbeat-interval 100ms -worker-timeout 400ms \
+    >"$tmp/shard0.log" 2>&1 &
+pids="$pids $!"
+# shellcheck disable=SC2086
+"$tmp/hetkg-ps" $cfg -machine 1 -listen "$addr1" >"$tmp/shard1.log" 2>&1 &
+pids="$pids $!"
+
+# Wait for both shards to accept connections.
+i=0
+while ! grep -q "serving" "$tmp/shard0.log" || ! grep -q "serving" "$tmp/shard1.log"; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "FAIL: shards did not start"; cat "$tmp"/shard*.log; exit 1; }
+    sleep 0.1
+done
+
+echo "== starting victim worker (owns both partitions)"
+# shellcheck disable=SC2086
+"$tmp/hetkg-train" $traincfg >"$tmp/victim.log" 2>&1 &
+victim=$!
+pids="$pids $victim"
+
+# Progress proof: the victim's first snapshot file means it is mid-epoch.
+i=0
+while [ -z "$(ls "$tmp/ckpt" 2>/dev/null)" ]; do
+    i=$((i + 1))
+    [ "$i" -le 200 ] || { echo "FAIL: victim never snapshotted"; cat "$tmp/victim.log"; exit 1; }
+    sleep 0.05
+done
+
+echo "== starting survivor worker (joins as a spare)"
+# shellcheck disable=SC2086
+"$tmp/hetkg-train" $traincfg >"$tmp/survivor.log" 2>&1 &
+survivor=$!
+pids="$pids $survivor"
+
+i=0
+while ! grep -q "joined, 2 live" "$tmp/shard0.log"; do
+    i=$((i + 1))
+    [ "$i" -le 200 ] || { echo "FAIL: survivor never joined"; cat "$tmp/survivor.log"; exit 1; }
+    sleep 0.05
+done
+
+echo "== SIGKILLing the victim mid-epoch"
+kill -9 "$victim"
+
+# The survivor must detect the death (via the coordinator), adopt both
+# partitions, finish every epoch, and exit 0 with a final evaluation.
+i=0
+while kill -0 "$survivor" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 450 ] || { echo "FAIL: survivor did not finish"; cat "$tmp/survivor.log"; exit 1; }
+    sleep 0.1
+done
+if ! wait "$survivor"; then
+    echo "FAIL: survivor exited nonzero"
+    cat "$tmp/survivor.log"
+    exit 1
+fi
+
+echo "== verifying the recovery actually happened"
+grep -q "expired after" "$tmp/shard0.log" || {
+    echo "FAIL: coordinator never expired the victim"; cat "$tmp/shard0.log"; exit 1; }
+grep -q "adopted partition" "$tmp/survivor.log" || {
+    echo "FAIL: survivor never adopted a partition"; cat "$tmp/survivor.log"; exit 1; }
+grep -q "^final:" "$tmp/survivor.log" || {
+    echo "FAIL: survivor printed no final evaluation"; cat "$tmp/survivor.log"; exit 1; }
+
+echo "cluster smoke: OK"
+grep "^final:" "$tmp/survivor.log"
