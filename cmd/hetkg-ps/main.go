@@ -48,6 +48,8 @@ func main() {
 		wTimeout = flag.Duration("worker-timeout", 0, "declare a worker dead after this much heartbeat silence (0 = 3x -heartbeat-interval; with -coordinator)")
 		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
 		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
+		telAddr  = flag.String("telemetry", "", "ship this shard's metrics to the coordinator at this address (not needed on the coordinator itself)")
+		telEvery = flag.Duration("telemetry-every", 0, "telemetry report cadence (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight connections on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -68,7 +70,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	reg := hetkg.NewMetricsRegistry()
+	shard.Instrument(reg)
+
 	var membership *hetkg.ClusterMembership
+	var fleet *hetkg.FleetTelemetry
 	if *coord {
 		if *shards == "" {
 			fmt.Fprintln(os.Stderr, "-coordinator requires -shards (the full fleet, in machine order)")
@@ -79,30 +88,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-shards lists %d addresses for %d machines\n", len(addrs), *machines)
 			os.Exit(2)
 		}
+		fleet = hetkg.NewFleetTelemetry(hetkg.FleetTelemetryConfig{Logf: logf})
+		fleet.Instrument(reg)
 		membership, err = hetkg.NewMembership(hetkg.MemberConfig{
 			Partitions:     *machines,
 			ShardAddrs:     addrs,
 			HeartbeatEvery: *hbEvery,
 			WorkerTimeout:  *wTimeout,
-			Logf: func(format string, args ...any) {
-				fmt.Printf(format+"\n", args...)
-			},
+			Telemetry:      fleet,
+			Logf:           logf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coordinator:", err)
 			os.Exit(1)
 		}
+		membership.Instrument(reg)
 	}
 
 	if *metAddr != "" {
-		reg := hetkg.NewMetricsRegistry()
-		shard.Instrument(reg)
-		if membership != nil {
-			membership.Instrument(reg)
-		}
 		var opts []hetkg.ServeOption
 		if *metAllow {
 			opts = append(opts, hetkg.MetricsAllowRemote())
+		}
+		if fleet != nil {
+			opts = append(opts, hetkg.MetricsRoute("/fleet", fleet))
 		}
 		srv, err := hetkg.ServeMetrics(*metAddr, reg, opts...)
 		if err != nil {
@@ -111,6 +120,42 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("metrics: serving http://%s/metrics (+ /debug/pprof)\n", srv.Addr())
+		if fleet != nil {
+			fmt.Printf("metrics: fleet view on http://%s/fleet (hetkg-top -addr %s)\n", srv.Addr(), srv.Addr())
+		}
+	}
+
+	// Every shard reports into the fleet view: the coordinator's own shard
+	// in-process through its membership, the rest over TCP via -telemetry.
+	label := fmt.Sprintf("machine-%d", *machine)
+	startShipper := func(send hetkg.TelemetrySender) *hetkg.TelemetryShipper {
+		s := hetkg.NewTelemetryShipper(hetkg.TelemetryRoleShard, label, reg.Snapshot, send, *telEvery, logf)
+		s.Start()
+		return s
+	}
+	switch {
+	case membership != nil:
+		shipper := startShipper(membership)
+		defer shipper.Stop()
+	case *telAddr != "":
+		// Shard launch order is not guaranteed, so the coordinator may not
+		// be listening yet: dial in the background and retry until it is.
+		// The connection and shipper live for the rest of the process.
+		addr := *telAddr
+		go func() {
+			for attempt := 0; ; attempt++ {
+				cc, err := hetkg.DialCoordinator(addr, 5*time.Second)
+				if err == nil {
+					logf("telemetry: shipping to coordinator %s as shard/%s", addr, label)
+					startShipper(cc)
+					return
+				}
+				if attempt == 0 {
+					logf("telemetry: coordinator %s unreachable (%v), retrying every 1s", addr, err)
+				}
+				time.Sleep(time.Second)
+			}
+		}()
 	}
 
 	l, err := net.Listen("tcp", *listen)

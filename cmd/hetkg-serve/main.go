@@ -46,6 +46,9 @@ func main() {
 		spanOut     = flag.String("span", "", "write sampled request spans to this file on shutdown (hetkg-trace spans)")
 		spanEvery   = flag.Int("span-every", 0, "request sampling interval for -span (default every 16th)")
 		spanFormat  = flag.String("span-format", "", "span dump format: jsonl (default) | chrome")
+		telAddr     = flag.String("telemetry", "", "ship serve.* metrics to the cluster coordinator at this address (fleet view / hetkg-top)")
+		telEvery    = flag.Duration("telemetry-every", 0, "telemetry report cadence (0 = default)")
+		telLabel    = flag.String("telemetry-label", "", "label for this process in the fleet view (default: the -listen address)")
 	)
 	flag.Parse()
 	if *ckptPath == "" {
@@ -95,6 +98,33 @@ func main() {
 	fmt.Printf("hetkg-serve: %s (%s, dim %d, %d entities, %d relations) on http://%s\n",
 		*ckptPath, ck.ModelName, ck.Dim, ck.Entities.Rows, ck.Relations.Rows, l.Addr())
 	fmt.Printf("hetkg-serve: hot tier %d+%d rows (entities+relations), endpoints /v1/{score,predict,neighbors} + /metrics\n", eb, rb)
+
+	if *telAddr != "" {
+		label := *telLabel
+		if label == "" {
+			label = l.Addr().String()
+		}
+		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		// Telemetry is auxiliary: the coordinator may be down or not up yet,
+		// so dial in the background and retry rather than refusing to serve.
+		// The connection and shipper live for the rest of the process.
+		addr := *telAddr
+		go func() {
+			for attempt := 0; ; attempt++ {
+				cc, err := hetkg.DialCoordinator(addr, 5*time.Second)
+				if err == nil {
+					logf("hetkg-serve: shipping telemetry to %s as serve/%s", addr, label)
+					s := hetkg.NewTelemetryShipper(hetkg.TelemetryRoleServe, label, srv.Registry().Snapshot, cc, *telEvery, logf)
+					s.Start()
+					return
+				}
+				if attempt == 0 {
+					logf("telemetry: coordinator %s unreachable (%v), retrying every 1s", addr, err)
+				}
+				time.Sleep(time.Second)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

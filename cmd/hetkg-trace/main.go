@@ -15,6 +15,12 @@
 //
 //	hetkg-train -dataset fb15k -system hetkg-d -span s.jsonl
 //	hetkg-trace spans s.jsonl
+//
+// Multiple span files merge into one analysis by trace ID, so the per-process
+// dumps of an elastic run (worker batches in one file, shard-side spans in
+// another) stitch back into whole cross-process critical paths:
+//
+//	hetkg-trace spans worker0.jsonl worker1.jsonl shard0.jsonl
 package main
 
 import (
@@ -124,66 +130,91 @@ func compareRuns(w io.Writer, metric string, paths []string) error {
 	return nil
 }
 
-// spansReport analyzes each span dump: attribution, slowest spans,
-// stragglers, and the slowest batch's critical path.
+// spansReport merges every input dump and analyzes the union as one
+// trace set. A multi-process elastic run writes one dump per process —
+// the worker's batch spans and the shards' shard.pull/shard.apply spans
+// carry the same trace ID (it rides the wire header), so concatenating
+// the files is exactly merge-by-trace-ID and cross-process parent/child
+// chains reconnect. Spans identical in (trace, id, start) — overlapping
+// dumps of the same ring — are dropped as duplicates.
 func spansReport(w io.Writer, paths []string, topK int) error {
-	for i, path := range paths {
-		if i > 0 {
-			fmt.Fprintln(w)
-		}
+	type spanKey struct {
+		trace, id uint64
+		start     int64
+	}
+	var spans []span.Span
+	seen := make(map[spanKey]bool)
+	dups := 0
+	for _, path := range paths {
 		d, err := span.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		a := span.Analyze(d.Spans, topK)
-		fmt.Fprintf(w, "%s: %s/%s, %d sampled batches (every %d), seed %d\n",
-			path, d.Header.System, d.Header.Dataset, len(a.Batches), d.Header.Every, d.Header.Seed)
-		if len(a.Batches) == 0 {
-			fmt.Fprintln(w, "  no batch spans in dump")
-			continue
-		}
-
-		fmt.Fprintf(w, "\ncritical-path attribution over %s of sampled batch time:\n", fmtDur(a.TotalBatch))
-		fmt.Fprintf(w, "  %-10s%12s%9s\n", "category", "total", "share")
-		for _, cat := range span.Categories() {
-			dur := a.Total[cat]
-			share := 0.0
-			if a.TotalBatch > 0 {
-				share = 100 * float64(dur) / float64(a.TotalBatch)
+		kept := 0
+		for _, s := range d.Spans {
+			k := spanKey{s.Trace, s.ID, s.StartNS}
+			if seen[k] {
+				dups++
+				continue
 			}
-			fmt.Fprintf(w, "  %-10s%12s%8.1f%%\n", cat, fmtDur(dur), share)
+			seen[k] = true
+			spans = append(spans, s)
+			kept++
 		}
-
-		fmt.Fprintf(w, "\ntop-%d slowest spans:\n", len(a.Slowest))
-		fmt.Fprintf(w, "  %12s  %-20s%9s%8s%7s%7s%9s%11s\n",
-			"dur", "name", "machine", "worker", "iter", "shard", "rows", "bytes")
-		for _, s := range a.Slowest {
-			name := s.Name
-			if s.Sim {
-				name += " (sim)"
-			}
-			fmt.Fprintf(w, "  %12s  %-20s%9d%8d%7d%7s%9d%11d\n",
-				fmtDur(s.Duration()), name, s.Machine, s.Worker, s.Iter, fmtShard(s.Shard), s.Rows, s.Bytes)
-		}
-
-		fmt.Fprintln(w, "\nper-machine batches (straggler view):")
-		fmt.Fprintf(w, "  %-9s%9s%12s%12s\n", "machine", "batches", "mean", "max")
-		for _, m := range a.Machines {
-			fmt.Fprintf(w, "  %-9d%9d%12s%12s\n", m.Machine, m.Batches, fmtDur(m.Mean), fmtDur(m.Max))
-		}
-
-		slow := slowestBatch(a)
-		chain := span.CriticalPath(d.Spans, slow)
-		fmt.Fprintf(w, "\nslowest batch critical path (machine %d worker %d iter %d, %s):\n  ",
-			slow.Machine, slow.Worker, slow.Iter, fmtDur(slow.Duration()))
-		for i, s := range chain {
-			if i > 0 {
-				fmt.Fprint(w, " -> ")
-			}
-			fmt.Fprintf(w, "%s %s", s.Name, fmtDur(s.Duration()))
-		}
-		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%s: %s/%s, %d spans (every %d), seed %d\n",
+			path, d.Header.System, d.Header.Dataset, kept, d.Header.Every, d.Header.Seed)
 	}
+	if dups > 0 {
+		fmt.Fprintf(w, "dropped %d duplicate spans shared between files\n", dups)
+	}
+
+	a := span.Analyze(spans, topK)
+	fmt.Fprintf(w, "%d sampled batches across %d files\n", len(a.Batches), len(paths))
+	if len(a.Batches) == 0 {
+		fmt.Fprintln(w, "  no batch spans in dump")
+		return nil
+	}
+
+	fmt.Fprintf(w, "\ncritical-path attribution over %s of sampled batch time:\n", fmtDur(a.TotalBatch))
+	fmt.Fprintf(w, "  %-10s%12s%9s\n", "category", "total", "share")
+	for _, cat := range span.Categories() {
+		dur := a.Total[cat]
+		share := 0.0
+		if a.TotalBatch > 0 {
+			share = 100 * float64(dur) / float64(a.TotalBatch)
+		}
+		fmt.Fprintf(w, "  %-10s%12s%8.1f%%\n", cat, fmtDur(dur), share)
+	}
+
+	fmt.Fprintf(w, "\ntop-%d slowest spans:\n", len(a.Slowest))
+	fmt.Fprintf(w, "  %12s  %-20s%9s%8s%7s%7s%9s%11s\n",
+		"dur", "name", "machine", "worker", "iter", "shard", "rows", "bytes")
+	for _, s := range a.Slowest {
+		name := s.Name
+		if s.Sim {
+			name += " (sim)"
+		}
+		fmt.Fprintf(w, "  %12s  %-20s%9d%8d%7d%7s%9d%11d\n",
+			fmtDur(s.Duration()), name, s.Machine, s.Worker, s.Iter, fmtShard(s.Shard), s.Rows, s.Bytes)
+	}
+
+	fmt.Fprintln(w, "\nper-machine batches (straggler view):")
+	fmt.Fprintf(w, "  %-9s%9s%12s%12s\n", "machine", "batches", "mean", "max")
+	for _, m := range a.Machines {
+		fmt.Fprintf(w, "  %-9d%9d%12s%12s\n", m.Machine, m.Batches, fmtDur(m.Mean), fmtDur(m.Max))
+	}
+
+	slow := slowestBatch(a)
+	chain := span.CriticalPath(spans, slow)
+	fmt.Fprintf(w, "\nslowest batch critical path (machine %d worker %d iter %d, %s):\n  ",
+		slow.Machine, slow.Worker, slow.Iter, fmtDur(slow.Duration()))
+	for i, s := range chain {
+		if i > 0 {
+			fmt.Fprint(w, " -> ")
+		}
+		fmt.Fprintf(w, "%s %s", s.Name, fmtDur(s.Duration()))
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

@@ -31,6 +31,8 @@ package hetkg
 import (
 	"io"
 	"net"
+	"net/http"
+	"time"
 
 	"hetkg/internal/ckpt"
 	"hetkg/internal/core"
@@ -45,6 +47,7 @@ import (
 	"hetkg/internal/ps"
 	"hetkg/internal/serve"
 	"hetkg/internal/span"
+	"hetkg/internal/telemetry"
 	"hetkg/internal/train"
 	"hetkg/internal/vec"
 )
@@ -280,6 +283,64 @@ type MemberConfig = ps.MemberConfig
 // NewMembership builds a cluster coordinator; install it on a
 // ShardAcceptor's Coordinator field before serving.
 func NewMembership(cfg MemberConfig) (*ClusterMembership, error) { return ps.NewMembership(cfg) }
+
+// CoordClient is a TCP client for the cluster coordinator: workers join,
+// heartbeat, and leave through it, and any process can ship telemetry
+// reports over the same connection (DESIGN.md §12).
+type CoordClient = ps.CoordClient
+
+// DialCoordinator connects to the cluster coordinator at addr.
+func DialCoordinator(addr string, timeout time.Duration) (*CoordClient, error) {
+	return ps.DialCoordinator(addr, timeout)
+}
+
+// FleetTelemetry is the coordinator-side fleet aggregator: it ingests
+// labeled metric-registry snapshots from every process, keeps ring-buffered
+// time series with derived rates, and runs the straggler / cache-degradation
+// / comm-stall health rules (DESIGN.md §12). Install it on a coordinator's
+// MemberConfig.Telemetry and mount it with MetricsRoute("/fleet", fleet).
+type FleetTelemetry = telemetry.Fleet
+
+// FleetTelemetryConfig parameterizes NewFleetTelemetry.
+type FleetTelemetryConfig = telemetry.FleetConfig
+
+// NewFleetTelemetry builds a fleet aggregator.
+func NewFleetTelemetry(cfg FleetTelemetryConfig) *FleetTelemetry {
+	return telemetry.NewFleet(cfg)
+}
+
+// TelemetryReport is one process's labeled metric snapshot, shipped to the
+// coordinator's fleet aggregator.
+type TelemetryReport = telemetry.Report
+
+// TelemetrySender delivers telemetry reports to a fleet aggregator; both
+// *CoordClient (over TCP) and *ClusterMembership (in-process) implement it.
+type TelemetrySender = telemetry.Sender
+
+// TelemetryShipper periodically snapshots a registry and ships it to a
+// coordinator; hosts that are not elastic workers (shards, serve processes)
+// run one.
+type TelemetryShipper = telemetry.Shipper
+
+// NewTelemetryShipper builds a shipper; call Start to begin shipping and
+// Stop for a final flush on shutdown.
+func NewTelemetryShipper(role, label string, snap func() metrics.Snapshot, send TelemetrySender,
+	every time.Duration, logf func(format string, args ...any)) *TelemetryShipper {
+	return telemetry.NewShipper(role, label, snap, send, every, logf)
+}
+
+// Telemetry roles: the process kinds a fleet aggregator distinguishes.
+const (
+	TelemetryRoleWorker = telemetry.RoleWorker
+	TelemetryRoleShard  = telemetry.RoleShard
+	TelemetryRoleServe  = telemetry.RoleServe
+)
+
+// MetricsRoute mounts an extra handler on a ServeMetrics endpoint — the
+// coordinator mounts its fleet aggregator as MetricsRoute("/fleet", fleet).
+func MetricsRoute(pattern string, h http.Handler) ServeOption {
+	return obs.WithRoute(pattern, h)
+}
 
 // QueryServer is the online inference server: it answers triple-scoring,
 // link-prediction, and embedding-similarity queries over a trained

@@ -106,6 +106,7 @@ func (h *Histogram) snapshot() Value {
 		v.Quantiles = &Quantiles{
 			P50: h.Quantile(0.50),
 			P90: h.Quantile(0.90),
+			P95: h.Quantile(0.95),
 			P99: h.Quantile(0.99),
 		}
 	}

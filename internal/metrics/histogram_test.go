@@ -19,10 +19,10 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		{0.5, 0},
 		{1, 0},
 		{1.0001, 1},
-		{2, 1},       // exact power: inclusive in bucket 1 (le=2)
-		{2.0001, 2},  // just over: bucket 2 (le=4)
+		{2, 1},      // exact power: inclusive in bucket 1 (le=2)
+		{2.0001, 2}, // just over: bucket 2 (le=4)
 		{3, 2},
-		{4, 2},       // exact power: inclusive in bucket 2 (le=4)
+		{4, 2}, // exact power: inclusive in bucket 2 (le=4)
 		{4.5, 3},
 		{1024, 10},
 		{1025, 11},

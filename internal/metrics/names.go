@@ -137,6 +137,21 @@ const (
 	// coordinator (cold-start spreading plus post-failure adoption).
 	MClusterReassigns = "cluster.reassignments"
 
+	// MFleetProcesses is the coordinator's count of processes that have ever
+	// shipped a telemetry report (gauge; includes processes that later died).
+	MFleetProcesses = "fleet.processes"
+	// MFleetReports counts telemetry reports the fleet aggregator ingested.
+	MFleetReports = "fleet.reports"
+	// MFleetAlertsActive is the number of currently active health alerts
+	// (gauge, refreshed on every rule evaluation).
+	MFleetAlertsActive = "fleet.alerts_active"
+	// MFleetAlertsTotal counts alert activations since the coordinator
+	// started (debounced transitions, not raw rule breaches).
+	MFleetAlertsTotal = "fleet.alerts_total"
+	// MFleetStragglers is the number of workers currently flagged by the
+	// straggler rule (gauge; a subset of fleet.alerts_active).
+	MFleetStragglers = "fleet.stragglers"
+
 	// MClusterCkptWrites counts partition progress snapshots a worker wrote.
 	MClusterCkptWrites = "cluster.ckpt_writes"
 	// MClusterCkptResumes counts partitions a worker adopted mid-run and

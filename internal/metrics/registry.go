@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -153,6 +154,23 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // map keys, so a marshalled snapshot is deterministic.
 type Snapshot map[string]Value
 
+// Filter returns the subset of s whose names start with prefix — the
+// server side of the introspection endpoint's ?prefix= query (an
+// operator grabbing only cluster.* or serve.* without piping through
+// jq). An empty prefix returns s unchanged.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	if prefix == "" {
+		return s
+	}
+	out := make(Snapshot)
+	for name, v := range s {
+		if strings.HasPrefix(name, prefix) {
+			out[name] = v
+		}
+	}
+	return out
+}
+
 // Deterministic returns a copy of s without timer metrics: everything that
 // remains is derived from iteration counts, rows, bytes, and losses, which
 // are bit-identical across runs of the same configuration (wall-clock
@@ -182,7 +200,7 @@ type Value struct {
 	Sum float64 `json:"sum,omitempty"`
 	// Buckets lists the histogram's non-empty buckets.
 	Buckets []Bucket `json:"buckets,omitempty"`
-	// Quantiles caches the histogram's p50/p90/p99 at snapshot time.
+	// Quantiles caches the histogram's p50/p90/p95/p99 at snapshot time.
 	Quantiles *Quantiles `json:"q,omitempty"`
 }
 
@@ -200,6 +218,7 @@ type Bucket struct {
 type Quantiles struct {
 	P50 float64 `json:"p50"`
 	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
 }
 

@@ -67,6 +67,10 @@ func TestTimelineRoundTrip(t *testing.T) {
 	}
 	if v := last.Metrics[MCacheStaleness]; v.Kind != KindHistogram || v.Count != 3 || v.Quantiles == nil {
 		t.Fatalf("staleness in last record = %+v", v)
+	} else if q := v.Quantiles; q.P50 != 2 || q.P90 != 4 || q.P95 != 4 || q.P99 != 4 {
+		// Observations 1, 2, 3 land in buckets with upper bounds 1, 2, 4:
+		// the full quantile ladder survives the timeline round trip.
+		t.Fatalf("staleness quantiles = %+v", q)
 	}
 	if _, ok := last.Metrics[MTrainCompWall]; ok {
 		t.Fatal("timer leaked into a timeline record")

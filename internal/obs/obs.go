@@ -10,6 +10,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -31,6 +32,22 @@ type Option func(*serveOpts)
 
 type serveOpts struct {
 	allowRemote bool
+	routes      []Route
+}
+
+// Route is one extra handler mounted into the introspection mux alongside
+// /metrics and /healthz — the coordinator mounts its /fleet view this way.
+type Route struct {
+	// Pattern is the http.ServeMux pattern (e.g. "/fleet").
+	Pattern string
+	// Handler serves the route.
+	Handler http.Handler
+}
+
+// WithRoute mounts an extra handler on the endpoint (e.g. the fleet
+// aggregator's /fleet view on a coordinator's obs server).
+func WithRoute(pattern string, h http.Handler) Option {
+	return func(o *serveOpts) { o.routes = append(o.routes, Route{Pattern: pattern, Handler: h}) }
 }
 
 // AllowRemote permits binding non-loopback addresses. The endpoint serves
@@ -72,7 +89,7 @@ func Serve(addr string, reg *metrics.Registry, opts ...Option) (*Server, error) 
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	mux := Handler(reg)
+	mux := Handler(reg, so.routes...)
 
 	s := &Server{
 		ln: ln,
@@ -89,14 +106,19 @@ func Serve(addr string, reg *metrics.Registry, opts ...Option) (*Server, error) 
 
 // Handler returns the introspection routes as a mux that can be mounted
 // into another process's HTTP server (hetkg-serve shares its query mux):
-// /metrics (registry snapshot as JSON), /healthz, and the net/http/pprof
-// profiles under /debug/pprof/. The routes are unauthenticated; whoever
-// mounts them owns the loopback guard (CheckLoopback).
-func Handler(reg *metrics.Registry) *http.ServeMux {
+// /metrics (registry snapshot as JSON, optionally narrowed with
+// ?prefix=cluster. style queries), /healthz, the net/http/pprof profiles
+// under /debug/pprof/, and any extra routes. The routes are
+// unauthenticated; whoever mounts them owns the loopback guard
+// (CheckLoopback).
+func Handler(reg *metrics.Registry, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := reg.WriteJSON(w); err != nil {
+		snap := reg.Snapshot().Filter(r.URL.Query().Get("prefix"))
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -109,6 +131,9 @@ func Handler(reg *metrics.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
 }
 

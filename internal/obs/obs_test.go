@@ -100,3 +100,61 @@ func TestServeRefusesNonLoopback(t *testing.T) {
 	}
 	s.Close()
 }
+
+// TestServeMetricsPrefixFilter covers the ?prefix= query: only matching
+// names come back, and an unmatched prefix returns an empty document.
+func TestServeMetricsPrefixFilter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter(metrics.MCacheHits).Add(5)
+	reg.Counter(metrics.MPSPullRPCs).Add(2)
+	reg.Gauge(metrics.MTrainLoss).Set(0.5)
+
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var snap map[string]metrics.Value
+	if err := json.Unmarshal(get(t, "http://"+s.Addr()+"/metrics?prefix=cache."), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[metrics.MCacheHits].Count != 5 {
+		t.Fatalf("filtered snapshot = %+v, want only cache.hits", snap)
+	}
+	snap = nil
+	if err := json.Unmarshal(get(t, "http://"+s.Addr()+"/metrics?prefix=zzz."), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 0 {
+		t.Fatalf("unmatched prefix returned %+v", snap)
+	}
+	// No prefix: the whole registry.
+	snap = nil
+	if err := json.Unmarshal(get(t, "http://"+s.Addr()+"/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("unfiltered snapshot has %d entries, want 3", len(snap))
+	}
+}
+
+// TestServeWithRoute mounts an extra handler (the coordinator's /fleet
+// pattern) and checks it serves alongside the built-in routes.
+func TestServeWithRoute(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"kind":"test-route"}`)
+	})
+	s, err := Serve("127.0.0.1:0", reg, WithRoute("/fleet", h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := string(get(t, "http://"+s.Addr()+"/fleet")); got != `{"kind":"test-route"}` {
+		t.Fatalf("extra route body = %q", got)
+	}
+	if got := string(get(t, "http://"+s.Addr()+"/healthz")); got != "ok\n" {
+		t.Fatalf("healthz alongside extra route = %q", got)
+	}
+}

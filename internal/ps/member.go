@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hetkg/internal/metrics"
+	"hetkg/internal/telemetry"
 )
 
 // Cluster membership and failure detection (DESIGN.md §11).
@@ -128,6 +129,10 @@ type MemberConfig struct {
 	// Logf, when non-nil, receives membership events (joins, expiries,
 	// reassignments).
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, is the coordinator's fleet aggregator:
+	// op 'T' reports (and in-process SendTelemetry calls) are folded into
+	// it. Nil coordinators refuse telemetry by name.
+	Telemetry *telemetry.Fleet
 }
 
 // memberWorker is the coordinator's view of one registered worker.

@@ -272,6 +272,8 @@ func serveConn(conn net.Conn, srv *Server, allow []string, coord *Membership) {
 			}
 		case opJoin, opHeartbeat, opLeave:
 			serveMember(coord, &req, &resp)
+		case opTelemetry:
+			serveTelemetry(coord, &req, &resp)
 		default:
 			resp.Err = fmt.Sprintf("ps: unknown op %q", req.Op)
 		}

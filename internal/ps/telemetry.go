@@ -1,0 +1,57 @@
+package ps
+
+import (
+	"fmt"
+
+	"hetkg/internal/telemetry"
+)
+
+// Telemetry transport (DESIGN.md §12): fleet reports ride the same gob
+// TCP envelope as pulls, pushes, and membership ops. Op 'T' carries one
+// telemetry.Report to the coordinator shard, which folds it into its
+// Fleet aggregator. A shard without a coordinator (or a coordinator
+// without a Fleet) refuses the op by name.
+
+// opTelemetry ships one labeled metrics snapshot to the coordinator.
+const opTelemetry = 'T'
+
+// SendTelemetry implements telemetry.Sender over the wire: one op 'T'
+// round trip on the persistent coordinator connection.
+func (cc *CoordClient) SendTelemetry(rep telemetry.Report) error {
+	var reply struct{}
+	return cc.roundTrip(opTelemetry, &rep, &reply)
+}
+
+// SendTelemetry implements telemetry.Sender in process: the report goes
+// straight into the coordinator's Fleet aggregator. Single-process
+// elastic runs and tests use this path; remote processes arrive via op
+// 'T' on the TCP envelope.
+func (m *Membership) SendTelemetry(rep telemetry.Report) error {
+	if m.cfg.Telemetry == nil {
+		return fmt.Errorf("ps: coordinator has no fleet aggregator")
+	}
+	return m.cfg.Telemetry.Ingest(rep)
+}
+
+// serveTelemetry dispatches one op 'T' on a shard connection.
+func serveTelemetry(coord *Membership, req *wireRequest, resp *wireResponse) {
+	if coord == nil {
+		resp.Err = "ps: this shard is not the coordinator (telemetry reports go to the first seed address)"
+		return
+	}
+	var rep telemetry.Report
+	if err := gobDecode(req.Payload, &rep); err != nil {
+		resp.Err = err.Error()
+		return
+	}
+	if err := coord.SendTelemetry(rep); err != nil {
+		resp.Err = err.Error()
+		return
+	}
+	payload, err := gobBytes(struct{}{})
+	if err != nil {
+		resp.Err = err.Error()
+		return
+	}
+	resp.Payload = payload
+}

@@ -54,6 +54,13 @@ const (
 	// the resume point.
 	NClusterRecover = "cluster.recover"
 
+	// NFleetAlert marks one health-alert activation by the coordinator's
+	// fleet aggregator (straggler, cache_degraded, comm_stall,
+	// telemetry_lag). Emitted with an Every=1 collector so no activation is
+	// sampled away; correlate with the coordinator log line for the rule
+	// and subject.
+	NFleetAlert = "fleet.alert"
+
 	// NServeRequest is the root span of one sampled serving request
 	// (hetkg-serve), the inference-time counterpart of NBatch.
 	NServeRequest = "serve.request"

@@ -11,6 +11,7 @@ import (
 	"hetkg/internal/metrics"
 	"hetkg/internal/ps"
 	"hetkg/internal/span"
+	"hetkg/internal/telemetry"
 )
 
 // The elastic driver (DESIGN.md §11) is the multi-process deployment of
@@ -94,6 +95,13 @@ type elastic struct {
 	tracer   *span.Tracer
 	beats    int
 	recovers int
+
+	// Fleet telemetry piggybacked on the heartbeat cadence (DESIGN.md §12):
+	// every successful beat also ships the full registry snapshot to the
+	// coordinator's aggregator, so the /fleet view tracks this process at
+	// heartbeat resolution with no extra timer.
+	telemetrySeq int64
+	telemetryOff bool
 
 	// Per-epoch accounting across local partitions (merged like
 	// epochBarrier: critical-path comp/comm, mean loss). epochCounts holds
@@ -285,10 +293,46 @@ func (e *elastic) heartbeat() (allDone bool, err error) {
 		e.workerID = join.WorkerID
 		return false, e.reconcile(join.Assignments)
 	}
+	e.shipTelemetry()
 	if reply.AllDone {
 		return true, nil
 	}
 	return false, e.reconcile(reply.Assignments)
+}
+
+// shipTelemetry sends one labeled registry snapshot to the coordinator's
+// fleet aggregator — best effort, and disabled for the rest of the run
+// after the first refusal (a coordinator without an aggregator refuses by
+// name; telemetry must never interfere with training).
+func (e *elastic) shipTelemetry() {
+	if e.telemetryOff || e.cfg.Metrics == nil {
+		return
+	}
+	sender, ok := e.ec.Coordinator.(telemetry.Sender)
+	if !ok {
+		e.telemetryOff = true
+		return
+	}
+	e.telemetrySeq++
+	err := sender.SendTelemetry(telemetry.Report{
+		Role:    telemetry.RoleWorker,
+		Label:   e.telemetryLabel(),
+		Seq:     e.telemetrySeq,
+		Metrics: e.cfg.Metrics.Snapshot(),
+	})
+	if err != nil {
+		e.telemetryOff = true
+		e.logf("cluster: telemetry disabled: %v", err)
+	}
+}
+
+// telemetryLabel is this process's fleet identity: the configured label,
+// or the coordinator-issued worker id as a fallback.
+func (e *elastic) telemetryLabel() string {
+	if e.ec.Label != "" {
+		return e.ec.Label
+	}
+	return fmt.Sprintf("worker-%d", e.workerID)
 }
 
 // reconcile makes the local runner set match the coordinator's assignment

@@ -9,6 +9,7 @@ import (
 	"hetkg/internal/ckpt"
 	"hetkg/internal/metrics"
 	"hetkg/internal/ps"
+	"hetkg/internal/telemetry"
 )
 
 // elasticMembership builds an in-process coordinator with a fast heartbeat
@@ -48,6 +49,60 @@ func TestElasticSingleWorkerTrains(t *testing.T) {
 	}
 	if !m.AllDone() {
 		t.Error("coordinator does not agree the run finished")
+	}
+}
+
+// TestElasticShipsTelemetry runs a solo elastic worker against a
+// coordinator with a fleet aggregator and asserts the worker's registry
+// snapshots arrived: piggybacked on heartbeats, labeled with the worker's
+// role and label, carrying the live training counters.
+func TestElasticShipsTelemetry(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Dataset = "traintest"
+	cfg.Metrics = metrics.NewRegistry()
+	fleet := telemetry.NewFleet(telemetry.FleetConfig{})
+	m, err := ps.NewMembership(ps.MemberConfig{
+		Partitions:     2,
+		HeartbeatEvery: 5 * time.Millisecond,
+		Telemetry:      fleet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainElastic(cfg, ElasticConfig{Coordinator: m, Label: "solo"}); err != nil {
+		t.Fatalf("TrainElastic: %v", err)
+	}
+	v := fleet.View()
+	if len(v.Processes) != 1 {
+		t.Fatalf("fleet processes = %+v, want the one worker", v.Processes)
+	}
+	p := v.Processes[0]
+	if p.ID != "worker/solo" || p.Role != telemetry.RoleWorker {
+		t.Fatalf("process = %+v", p)
+	}
+	if p.Reports < 1 {
+		t.Fatalf("reports = %d, want >= 1", p.Reports)
+	}
+	// The last shipped snapshot carried the training counters.
+	iters := cfg.Metrics.Counter(metrics.MTrainIterations).Value()
+	if iters == 0 {
+		t.Fatal("no iterations trained")
+	}
+}
+
+// TestElasticTelemetryDisabledWithoutAggregator pins the refusal path: a
+// coordinator without a Fleet rejects the first report and the worker
+// silently stops shipping instead of failing the run.
+func TestElasticTelemetryDisabledWithoutAggregator(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Dataset = "traintest"
+	cfg.Metrics = metrics.NewRegistry()
+	m := elasticMembership(t, 2)
+	if _, err := TrainElastic(cfg, ElasticConfig{Coordinator: m, Label: "mute"}); err != nil {
+		t.Fatalf("TrainElastic: %v", err)
+	}
+	if !m.AllDone() {
+		t.Error("run did not finish")
 	}
 }
 

@@ -6,7 +6,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== doc-comment lint (internal/metrics + internal/serve + internal/ckpt + cluster layer)"
+echo "== doc-comment lint (internal/metrics + internal/serve + internal/ckpt + cluster + telemetry layers)"
 # Every top-level exported declaration in internal/metrics must carry a doc
 # comment: the package is the observability contract other layers (and
 # EXPERIMENTS.md) build on, so undocumented surface is a defect here.
@@ -17,6 +17,7 @@ echo "== doc-comment lint (internal/metrics + internal/serve + internal/ckpt + c
 # OPERATIONS.md documents).
 undoc=$(
     for f in internal/metrics/*.go internal/serve/*.go internal/ckpt/*.go \
+            internal/telemetry/*.go \
             internal/ps/member.go internal/train/elastic.go; do
         case "$f" in *_test.go) continue ;; esac
         awk -v file="$f" '
@@ -63,6 +64,23 @@ for name in $(sed -n 's/.*= "\(cluster\.[a-z0-9_.]*\)"$/\1/p' internal/metrics/n
 done
 if [ "$missing" -ne 0 ]; then
     echo "check: FAIL (cluster metrics missing from the runbook)"
+    exit 1
+fi
+
+echo "== OPERATIONS.md fleet metric coverage lint"
+# Every fleet.* metric in internal/metrics/names.go must appear in
+# OPERATIONS.md's fleet view section: the telemetry plane exists for the
+# operator, so an aggregator series the runbook cannot explain is a
+# defect (the fleet.* counterpart of the cluster.* lint above).
+missing=0
+for name in $(sed -n 's/.*= "\(fleet\.[a-z0-9_.]*\)"$/\1/p' internal/metrics/names.go); do
+    if ! grep -qF "$name" OPERATIONS.md; then
+        echo "OPERATIONS.md does not document fleet metric \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (fleet metrics missing from the runbook)"
     exit 1
 fi
 
