@@ -122,14 +122,15 @@ func render(w io.Writer, v *telemetry.FleetView) {
 		fmt.Fprintln(w, "  no processes have reported yet")
 		return
 	}
-	fmt.Fprintf(w, "  %-28s%10s%12s%12s%7s%9s  %-16s%s\n",
-		"process", "reports", "rate", "bytes/s", "hit%", "age", "trend", "alerts")
+	fmt.Fprintf(w, "  %-28s%10s%12s%12s%7s%8s%9s  %-16s%s\n",
+		"process", "reports", "rate", "bytes/s", "hit%", "links", "age", "trend", "alerts")
 	for _, p := range v.Processes {
-		fmt.Fprintf(w, "  %-28s%10d%12s%12s%7s%9s  %-16s%s\n",
+		fmt.Fprintf(w, "  %-28s%10d%12s%12s%7s%8s%9s  %-16s%s\n",
 			p.ID, p.Reports,
 			fmtRate(primaryOf(p)),
 			fmtRate(rateOr(p, "bytes_s")),
 			fmtHit(p.HitRatio),
+			fmtLinks(p.LinksDown),
 			fmtMS(p.AgeMS),
 			sparkline(p.History),
 			strings.Join(p.Alerts, ","))
@@ -185,6 +186,20 @@ func fmtHit(r *float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f%%", *r*100)
+}
+
+// fmtLinks renders per-process shard link health: "-" when the process
+// reports no link-layer gauge (in-proc transport, shards themselves), "ok"
+// when every link is up, "N down" while circuit breakers are open.
+func fmtLinks(n *int) string {
+	switch {
+	case n == nil:
+		return "-"
+	case *n == 0:
+		return "ok"
+	default:
+		return fmt.Sprintf("%d down", *n)
+	}
 }
 
 // fmtMS renders a millisecond quantity as a duration ("1.2s", "450ms").

@@ -51,6 +51,10 @@ func main() {
 		ckptN    = flag.Int("ckpt-every", 0, "iterations between progress snapshots (0 = 16; with -join)")
 		recoverD = flag.String("recover-from", "", "read adopted partitions' progress snapshots from this directory (default: -ckpt-dir)")
 		codec    = flag.String("codec", "", "wire codec profile: fp32 | fp16 | int8 | delta-int8 | topk | auto (default fp32)")
+		rpcTO    = flag.Duration("rpc-timeout", 0, "per-attempt deadline on remote-shard RPCs (0 = default 10s, negative disables)")
+		rpcRetry = flag.Int("rpc-retries", 0, "retry budget per remote-shard RPC after a link failure (0 = default 3, negative disables)")
+		evalN    = flag.Int("eval-every", 0, "epochs between validation evaluations (0 = every epoch; larger than -epochs defers to the final evaluation only)")
+		degStale = flag.Int("degraded-max-staleness", 0, "ride out shard outages by serving cached rows up to this many iterations stale and buffering pushes for replay (0 = fail fast; hetkg-c/hetkg-d only)")
 		topk     = flag.Float64("topk-ratio", 0, "kept gradient fraction per row for -codec topk (0 = default 0.125)")
 		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
 		timeline = flag.String("timeline", "", "write a per-iteration JSONL timeline to this file")
@@ -158,6 +162,10 @@ func main() {
 		},
 		Codec:                   *codec,
 		TopKRatio:               *topk,
+		RPCTimeout:              *rpcTO,
+		RPCRetries:              *rpcRetry,
+		DegradedMaxStaleness:    *degStale,
+		EvalEvery:               *evalN,
 		Resume:                  resume,
 		LocalMachines:           localMachines(*machine),
 		AdversarialTemp:         float32(*advTemp),

@@ -239,6 +239,23 @@ func (h *HotCache) Peek(k ps.Key) ([]float32, bool) {
 	return row.vals, true
 }
 
+// ServeStale returns the cached row for k if its age at the given iteration
+// is within maxAge (0 = any age), without touching the hit-ratio counters —
+// the Get that preceded it already recorded the miss. This is the degraded
+// mode's read path while k's shard link is down: the row may be staler than
+// the cache's own bound P, but never staler than maxAge, which keeps the
+// staleness guarantee explicit (a used row is at most max(P, maxAge) stale).
+func (h *HotCache) ServeStale(k ps.Key, iteration, maxAge int) ([]float32, bool) {
+	row, ok := h.rows[k]
+	if !ok {
+		return nil, false
+	}
+	if maxAge > 0 && iteration-row.lastSync >= maxAge {
+		return nil, false
+	}
+	return row.vals, true
+}
+
 // Update applies a gradient to the cached copy of k (workflow step 4:
 // "update the corresponding gradients to the involved hot-embeddings").
 // Unknown keys are ignored — the gradient still reaches the PS through the

@@ -1,0 +1,260 @@
+// Package chaos injects deterministic faults into net.Conn traffic for
+// fault-tolerance tests. An Injector holds a script of Rules; wrapping a
+// connection (or a listener, which wraps every accepted connection and
+// numbers them in accept order) makes the script fire on exact Read/Write
+// call indices — connection 2's third write fails with a reset, every read
+// after the fifth stalls 50ms, and so on. Because firing is keyed on call
+// counts rather than timing, a test run replays the identical fault
+// schedule every time; the optional Seed adds reproducible pseudo-random
+// faults on top for soak-style tests.
+//
+// The unit tests in internal/ps drive the retry/reconnect/breaker state
+// machine through these wrappers; scripts/chaos_smoke.sh is the real-
+// process counterpart (SIGSTOP on a live shard).
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Op selects which half of a connection a Rule applies to.
+type Op int
+
+const (
+	// OpRead matches Read calls.
+	OpRead Op = iota
+	// OpWrite matches Write calls.
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Fault is what happens when a Rule fires.
+type Fault int
+
+const (
+	// FaultReset closes the underlying connection and fails the call —
+	// the observable shape of a peer crash / RST.
+	FaultReset Fault = iota
+	// FaultStall sleeps Rule.Stall before letting the call proceed — a
+	// slow or wedged peer (pair with an RPC deadline shorter than the
+	// stall to exercise timeout paths).
+	FaultStall
+	// FaultBlackhole blocks the call until the connection is closed —
+	// a one-way partition: apply to OpRead and writes still flow.
+	FaultBlackhole
+)
+
+// Rule is one scripted fault. It fires on calls matching (Conn, Op) whose
+// per-(conn, op) call index — counted from 0 at wrap time — is ≥ After,
+// for Count firings.
+type Rule struct {
+	// Conn is the wrapped connection's index (assigned in Wrap/accept
+	// order, starting at 0); -1 matches every connection.
+	Conn int
+	// Op is the call direction the rule applies to.
+	Op Op
+	// After is the first call index the rule fires on.
+	After int
+	// Count is how many matching calls fire: 0 means exactly one, -1
+	// means every call from After on.
+	Count int
+	// Fault is the injected failure.
+	Fault Fault
+	// Stall is the FaultStall duration.
+	Stall time.Duration
+}
+
+// Injector numbers the connections it wraps and applies its rule script
+// to their calls. Safe for concurrent use; the zero value injects nothing.
+type Injector struct {
+	mu    sync.Mutex
+	rules []rule
+	conns int
+	seed  uint64
+	oneIn uint64
+}
+
+type rule struct {
+	Rule
+	fired int
+}
+
+// NewInjector builds an injector over the given script.
+func NewInjector(rules ...Rule) *Injector {
+	inj := &Injector{}
+	for _, r := range rules {
+		inj.rules = append(inj.rules, rule{Rule: r})
+	}
+	return inj
+}
+
+// Add appends a rule to the script (e.g. mid-test, after a phase barrier).
+func (inj *Injector) Add(r Rule) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.rules = append(inj.rules, rule{Rule: r})
+}
+
+// Seed enables pseudo-random resets on top of the script: every call
+// additionally fails with probability 1/oneIn, keyed on (seed, conn, op,
+// call index) — a given seed replays the identical fault schedule.
+// oneIn ≤ 0 disables.
+func (inj *Injector) Seed(seed int64, oneIn int) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.seed = uint64(seed)
+	if oneIn <= 0 {
+		inj.oneIn = 0
+		return
+	}
+	inj.oneIn = uint64(oneIn)
+}
+
+// randomReset reports whether the seeded stream fails this call.
+func (inj *Injector) randomReset(conn int, op Op, idx int) bool {
+	inj.mu.Lock()
+	seed, oneIn := inj.seed, inj.oneIn
+	inj.mu.Unlock()
+	if oneIn == 0 {
+		return false
+	}
+	x := seed ^ uint64(conn)<<40 ^ uint64(op)<<32 ^ uint64(idx)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x%oneIn == 0
+}
+
+// Wrap returns conn with the injector's script applied, assigning it the
+// next connection index.
+func (inj *Injector) Wrap(conn net.Conn) net.Conn {
+	inj.mu.Lock()
+	id := inj.conns
+	inj.conns++
+	inj.mu.Unlock()
+	return &faultConn{Conn: conn, inj: inj, id: id, closed: make(chan struct{})}
+}
+
+// Listen wraps l so every accepted connection passes through Wrap, with
+// indices assigned in accept order.
+func (inj *Injector) Listen(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, inj: inj}
+}
+
+// match finds the first live rule for (conn, op) at call index idx and
+// consumes one firing. Returns the matched rule and whether one fired.
+func (inj *Injector) match(conn int, op Op, idx int) (Rule, bool) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.Conn != -1 && r.Conn != conn {
+			continue
+		}
+		if r.Op != op || idx < r.After {
+			continue
+		}
+		max := r.Count
+		if max == 0 {
+			max = 1
+		}
+		if max != -1 && r.fired >= max {
+			continue
+		}
+		r.fired++
+		return r.Rule, true
+	}
+	return Rule{}, false
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Wrap(conn), nil
+}
+
+// faultConn applies the injector's script to one connection. Call indices
+// are counted per direction under a mutex, so concurrent readers/writers
+// still observe a well-defined numbering.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+	id  int
+
+	mu     sync.Mutex
+	reads  int
+	writes int
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// apply consumes this call's index and runs any matching fault. It returns
+// a non-nil error when the call must fail instead of proceeding.
+func (c *faultConn) apply(op Op) error {
+	c.mu.Lock()
+	var idx int
+	if op == OpRead {
+		idx = c.reads
+		c.reads++
+	} else {
+		idx = c.writes
+		c.writes++
+	}
+	c.mu.Unlock()
+	r, ok := c.inj.match(c.id, op, idx)
+	if !ok {
+		if c.inj.randomReset(c.id, op, idx) {
+			c.Close()
+			return fmt.Errorf("chaos: conn %d %s %d: seeded reset", c.id, op, idx)
+		}
+		return nil
+	}
+	switch r.Fault {
+	case FaultReset:
+		c.Close()
+		return fmt.Errorf("chaos: conn %d %s %d: injected reset", c.id, op, idx)
+	case FaultStall:
+		time.Sleep(r.Stall)
+	case FaultBlackhole:
+		<-c.closed
+		return fmt.Errorf("chaos: conn %d %s %d: blackholed until close", c.id, op, idx)
+	}
+	return nil
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.apply(OpRead); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.apply(OpWrite); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory connection, the first
+// wrapped by inj.
+func pipePair(inj *Injector) (wrapped, peer net.Conn) {
+	a, b := net.Pipe()
+	return inj.Wrap(a), b
+}
+
+// TestResetFiresOnExactCall verifies a rule fires on precisely the
+// scripted call index and exactly Count times.
+func TestResetFiresOnExactCall(t *testing.T) {
+	inj := NewInjector(Rule{Conn: 0, Op: OpWrite, After: 2, Fault: FaultReset})
+	w, peer := pipePair(inj)
+	defer peer.Close()
+
+	// A net.Pipe write needs a concurrent reader.
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: unexpected error %v", i, err)
+		}
+	}
+	_, err := w.Write([]byte("boom"))
+	if err == nil || !strings.Contains(err.Error(), "injected reset") {
+		t.Fatalf("write 2: want injected reset, got %v", err)
+	}
+	// The reset closed the underlying conn: the peer sees EOF.
+	peer.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := peer.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("peer after reset: want EOF, got %v", err)
+	}
+	// Count 0 means once: a fresh conn matching the same rule is clean.
+	w2, peer2 := pipePair(inj)
+	defer peer2.Close()
+	_ = w2
+}
+
+// TestAnyConnAndForever verifies Conn -1 wildcards and Count -1 repeats.
+func TestAnyConnAndForever(t *testing.T) {
+	inj := NewInjector(Rule{Conn: -1, Op: OpRead, After: 0, Count: -1, Fault: FaultReset})
+	for i := 0; i < 3; i++ {
+		w, peer := pipePair(inj)
+		if _, err := w.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("conn %d: read should fail", i)
+		}
+		peer.Close()
+	}
+}
+
+// TestStallDelaysCall verifies FaultStall sleeps without failing the call.
+func TestStallDelaysCall(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	inj := NewInjector(Rule{Conn: 0, Op: OpWrite, After: 0, Fault: FaultStall, Stall: stall})
+	w, peer := pipePair(inj)
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	start := time.Now()
+	if _, err := w.Write([]byte("slow")); err != nil {
+		t.Fatalf("stalled write failed: %v", err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("write returned after %v, want >= %v", d, stall)
+	}
+}
+
+// TestBlackholeBlocksUntilClose verifies FaultBlackhole parks the call
+// until Close, modeling a one-way partition.
+func TestBlackholeBlocksUntilClose(t *testing.T) {
+	inj := NewInjector(Rule{Conn: 0, Op: OpRead, After: 0, Fault: FaultBlackhole})
+	w, peer := pipePair(inj)
+	defer peer.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blackholed read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	w.Close()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "blackholed") {
+			t.Fatalf("want blackhole error, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blackholed read did not return after close")
+	}
+}
+
+// TestListenerNumbersAcceptOrder verifies accepted connections get script
+// indices in accept order.
+func TestListenerNumbersAcceptOrder(t *testing.T) {
+	inj := NewInjector(Rule{Conn: 1, Op: OpWrite, After: 0, Fault: FaultReset})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := inj.Listen(base)
+	defer l.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+	}
+	conn0 := <-accepted
+	conn1 := <-accepted
+	defer conn0.Close()
+	defer conn1.Close()
+	// The rule targets accept index 1, so exactly one of the two accepted
+	// connections must reset on its first write.
+	_, err0 := conn0.Write([]byte("x"))
+	_, err1 := conn1.Write([]byte("y"))
+	if (err0 == nil) == (err1 == nil) {
+		t.Fatalf("want exactly one write reset, got err0=%v err1=%v", err0, err1)
+	}
+}
+
+// TestSeededResetsDeterministic verifies the seeded stream replays
+// identically for a given seed and differs across seeds.
+func TestSeededResetsDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		inj := &Injector{}
+		inj.Seed(seed, 8)
+		var out []bool
+		for idx := 0; idx < 256; idx++ {
+			out = append(out, inj.randomReset(0, OpRead, idx))
+		}
+		return out
+	}
+	a, b, c := schedule(42), schedule(42), schedule(43)
+	fires := 0
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if fires == 0 {
+		t.Fatal("seeded stream never fired in 256 calls at 1/8")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

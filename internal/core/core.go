@@ -103,6 +103,17 @@ type RunConfig struct {
 	// TopKRatio is the kept fraction per gradient row for Codec: "topk"
 	// (default 0.125).
 	TopKRatio float64
+	// RPCTimeout bounds each worker↔shard RPC attempt on TCP links
+	// (0 = the link layer's default, negative disables deadlines).
+	RPCTimeout time.Duration
+	// RPCRetries is the per-RPC retry budget after a link failure
+	// (0 = the link layer's default, negative disables retries).
+	RPCRetries int
+	// DegradedMaxStaleness, when positive, lets cache-backed trainers ride
+	// out a shard outage in degraded mode: pulls are served from the hot
+	// cache up to this many iterations stale and pushes buffer for replay
+	// once the link recovers (see train.Config.DegradedMaxStaleness).
+	DegradedMaxStaleness int
 	// AdversarialTemp enables self-adversarial negative weighting
 	// (extension; 0 = the paper's uniform weighting).
 	AdversarialTemp float32
@@ -263,6 +274,17 @@ func (rc *RunConfig) defaults() {
 }
 
 // Run executes the specified training run and returns its result.
+// linkConfig assembles the fault-tolerance parameters for TCP shard links.
+// The run seed keys the retry-backoff jitter, so a given run's retry
+// schedule replays deterministically.
+func (rc *RunConfig) linkConfig() ps.LinkConfig {
+	return ps.LinkConfig{
+		RPCTimeout: rc.RPCTimeout,
+		Retries:    rc.RPCRetries,
+		Seed:       rc.Seed,
+	}
+}
+
 func Run(rc RunConfig) (*train.Result, error) {
 	rc.defaults()
 	g := rc.Graph
@@ -328,38 +350,39 @@ func Run(rc RunConfig) (*train.Result, error) {
 	}
 
 	tc := train.Config{
-		Graph:             sp.Train,
-		Valid:             sp.Valid.Triples,
-		Filter:            sp.AllTriples(),
-		Model:             mdl,
-		Loss:              loss,
-		Dim:               rc.Dim,
-		LR:                rc.LR,
-		Epochs:            rc.Epochs,
-		BatchSize:         rc.BatchSize,
-		NegPerPos:         rc.NegPerPos,
-		ChunkSize:         rc.ChunkSize,
-		NumMachines:       rc.Machines,
-		WorkersPerMachine: rc.WorkersPerMachine,
-		LocalMachines:     rc.LocalMachines,
-		Partitioner:       part,
-		CostModel:         rc.CostModel,
-		EvalEvery:         rc.EvalEvery,
-		EvalCandidates:    rc.EvalCandidates,
-		EvalMax:           rc.EvalMax,
-		Parallelism:       rc.Parallelism,
-		Metrics:           rc.Metrics,
-		Dataset:           rc.Dataset,
-		TimelineEvery:     rc.TimelineEvery,
-		Seed:              rc.Seed,
-		NewOptimizer:      newOpt,
-		Quantize8Bit:      rc.Quantize8Bit,
-		Codec:             rc.Codec,
-		TopKRatio:         rc.TopKRatio,
-		NegativeWeights:   negWeights(rc.DegreeWeightedNegatives, sp.Train),
-		InitialEntities:   resumeEntities(rc.Resume),
-		InitialRelations:  resumeRelations(rc.Resume),
-		AdversarialTemp:   rc.AdversarialTemp,
+		Graph:                sp.Train,
+		Valid:                sp.Valid.Triples,
+		Filter:               sp.AllTriples(),
+		Model:                mdl,
+		Loss:                 loss,
+		Dim:                  rc.Dim,
+		LR:                   rc.LR,
+		Epochs:               rc.Epochs,
+		BatchSize:            rc.BatchSize,
+		NegPerPos:            rc.NegPerPos,
+		ChunkSize:            rc.ChunkSize,
+		NumMachines:          rc.Machines,
+		WorkersPerMachine:    rc.WorkersPerMachine,
+		LocalMachines:        rc.LocalMachines,
+		Partitioner:          part,
+		CostModel:            rc.CostModel,
+		EvalEvery:            rc.EvalEvery,
+		EvalCandidates:       rc.EvalCandidates,
+		EvalMax:              rc.EvalMax,
+		Parallelism:          rc.Parallelism,
+		Metrics:              rc.Metrics,
+		Dataset:              rc.Dataset,
+		TimelineEvery:        rc.TimelineEvery,
+		Seed:                 rc.Seed,
+		NewOptimizer:         newOpt,
+		Quantize8Bit:         rc.Quantize8Bit,
+		Codec:                rc.Codec,
+		TopKRatio:            rc.TopKRatio,
+		DegradedMaxStaleness: rc.DegradedMaxStaleness,
+		NegativeWeights:      negWeights(rc.DegreeWeightedNegatives, sp.Train),
+		InitialEntities:      resumeEntities(rc.Resume),
+		InitialRelations:     resumeRelations(rc.Resume),
+		AdversarialTemp:      rc.AdversarialTemp,
 		Cache: train.CacheConfig{
 			Capacity:       rc.CacheCapacity,
 			EntityFraction: rc.EntityFraction,
@@ -377,8 +400,9 @@ func Run(rc RunConfig) (*train.Result, error) {
 		if codec == "" && rc.Quantize8Bit {
 			codec = ps.ProfileInt8
 		}
+		lcfg := rc.linkConfig()
 		tc.NewTransport = func(*ps.Cluster) (ps.Transport, error) {
-			return ps.DialTCPCodec(addrs, codec)
+			return ps.DialTCPLink(addrs, codec, lcfg)
 		}
 	}
 	var timelineFile *os.File

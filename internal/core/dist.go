@@ -118,8 +118,9 @@ func runElastic(rc RunConfig, tc train.Config) (*train.Result, error) {
 		codec = ps.ProfileInt8
 	}
 	addrs := join.ShardAddrs
+	lcfg := rc.linkConfig()
 	tc.NewTransport = func(*ps.Cluster) (ps.Transport, error) {
-		return ps.DialTCPCodec(addrs, codec)
+		return ps.DialTCPLink(addrs, codec, lcfg)
 	}
 	switch rc.System {
 	case SystemHETKGC:

@@ -62,6 +62,27 @@ const (
 	// top-k sparsifier into the error-feedback buffer (re-sent later).
 	MPSCodecRowsTopkDropped = "ps.codec.rows_topk_dropped"
 
+	// MPSLinkRetries counts RPC attempts re-issued after a transport-level
+	// failure (the first attempt of each call is not a retry).
+	MPSLinkRetries = "ps.link.retries"
+	// MPSLinkReconnects counts successful re-dials of a previously
+	// connected shard link (each resets the link's delta-codec base state).
+	MPSLinkReconnects = "ps.link.reconnects"
+	// MPSLinkFailures counts failed RPC/dial attempts on shard links
+	// (every failure, whether or not a retry later succeeded).
+	MPSLinkFailures = "ps.link.failures"
+	// MPSLinkDeadlineExceeded counts link attempt failures caused by the
+	// per-RPC deadline (a subset of ps.link.failures; a stalled — not
+	// dead — shard shows up here).
+	MPSLinkDeadlineExceeded = "ps.link.deadline_exceeded"
+	// MPSLinkBreakerTrips counts circuit-breaker transitions from closed
+	// to open (consecutive-failure threshold reached).
+	MPSLinkBreakerTrips = "ps.link.breaker_trips"
+	// MPSLinkBreakerOpen is the number of shard links currently behind an
+	// open (or half-open) circuit breaker (gauge; nonzero means the
+	// process is running degraded or stalling on a dead shard).
+	MPSLinkBreakerOpen = "ps.link.breaker_open"
+
 	// MNetLocalMsgs counts shared-memory (co-located) messages.
 	MNetLocalMsgs = "net.local_msgs"
 	// MNetLocalBytes counts shared-memory bytes.
@@ -160,4 +181,18 @@ const (
 	// MClusterCkptCorrupt counts progress snapshots rejected as corrupt or
 	// truncated at resume (the worker falls back to the coordinator's hint).
 	MClusterCkptCorrupt = "cluster.ckpt_corrupt"
+
+	// MTrainDegradedBatches counts batches that trained through degraded
+	// mode (at least one shard link down, rows served stale from the cache
+	// and/or pushes buffered).
+	MTrainDegradedBatches = "train.degraded.batches"
+	// MTrainDegradedStaleRows counts rows served from the cache within the
+	// degraded staleness bound while their shard link was down.
+	MTrainDegradedStaleRows = "train.degraded.stale_rows"
+	// MTrainDegradedBufferedRows counts gradient rows buffered (coalesced
+	// by key) because their shard link was down at push time.
+	MTrainDegradedBufferedRows = "train.degraded.buffered_rows"
+	// MTrainDegradedReplayedRows counts buffered gradient rows successfully
+	// replayed to their shard after the link recovered.
+	MTrainDegradedReplayedRows = "train.degraded.replayed_rows"
 )

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,30 @@ import (
 	"hetkg/internal/netsim"
 	"hetkg/internal/span"
 )
+
+// DegradedError reports a Pull or Push that completed for every shard
+// except unreachable ones (errors.Is(err, ErrLinkDown)). Keys lists the
+// rows that were NOT fetched/pushed, in the deterministic shard-then-key
+// order the RPCs were issued in; rows for healthy shards were handled
+// normally. The degraded training mode catches this to serve the missing
+// pulls from the cache and buffer the missing pushes.
+type DegradedError struct {
+	// Op is "pull" or "push".
+	Op string
+	// Keys are the rows the unreachable shards own.
+	Keys []Key
+	// Err is the first shard's LinkDownError.
+	Err error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("ps: %s degraded, %d rows on unreachable shards: %v", e.Op, len(e.Keys), e.Err)
+}
+
+// Unwrap exposes the underlying LinkDownError (so errors.Is(err,
+// ErrLinkDown) holds for a DegradedError too).
+func (e *DegradedError) Unwrap() error { return e.Err }
 
 // Client is a worker's view of the parameter server. It routes each key to
 // its owning shard, distinguishes localPull/localPush (the target shard is
@@ -102,14 +127,22 @@ func (c *Client) Width(k Key) int {
 // DGL-KE's KVStore).
 func (c *Client) Pull(keys []Key, dst map[Key][]float32) error {
 	groups := c.groupByShard(keys)
-	for shard, ks := range groups {
-		if len(ks) == 0 {
-			continue
-		}
+	var downKeys []Key
+	var downErr error
+	for _, shard := range sortedShards(groups) {
+		ks := groups[shard]
 		sp := c.tracer.StartChild(c.sc, span.NPSPull)
 		resp, err := c.tr.Pull(shard, &PullRequest{Keys: ks, Trace: sp.Context()})
 		if err != nil {
 			sp.EndAttrs(span.Attrs{Rows: int64(len(ks)), Shard: shard})
+			if errors.Is(err, ErrLinkDown) {
+				// Finish the healthy shards; report the missing rows once.
+				downKeys = append(downKeys, ks...)
+				if downErr == nil {
+					downErr = err
+				}
+				continue
+			}
 			return fmt.Errorf("ps: pull from shard %d: %w", shard, err)
 		}
 		tx, rx := c.pullWireBytes(len(ks), len(resp.Vals))
@@ -133,6 +166,9 @@ func (c *Client) Pull(keys []Key, dst map[Key][]float32) error {
 			off += w
 		}
 	}
+	if downKeys != nil {
+		return &DegradedError{Op: "pull", Keys: downKeys, Err: downErr}
+	}
 	return nil
 }
 
@@ -148,10 +184,10 @@ func (c *Client) Push(grads map[Key][]float32) error {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	groups := c.groupByShard(keys)
-	for shard, ks := range groups {
-		if len(ks) == 0 {
-			continue
-		}
+	var downKeys []Key
+	var downErr error
+	for _, shard := range sortedShards(groups) {
+		ks := groups[shard]
 		total := 0
 		for _, k := range ks {
 			total += len(grads[k])
@@ -167,6 +203,13 @@ func (c *Client) Push(grads map[Key][]float32) error {
 		sp := c.tracer.StartChild(c.sc, span.NPSPush)
 		if err := c.tr.Push(shard, &PushRequest{Keys: ks, Vals: vals, Trace: sp.Context()}); err != nil {
 			sp.EndAttrs(span.Attrs{Rows: int64(len(ks)), Shard: shard})
+			if errors.Is(err, ErrLinkDown) {
+				downKeys = append(downKeys, ks...)
+				if downErr == nil {
+					downErr = err
+				}
+				continue
+			}
 			return fmt.Errorf("ps: push to shard %d: %w", shard, err)
 		}
 		tx := c.pushWireBytes(len(ks), len(vals))
@@ -177,6 +220,9 @@ func (c *Client) Push(grads map[Key][]float32) error {
 			o.pushRows.Add(int64(len(ks)))
 			o.bytesTx.Add(tx)
 		}
+	}
+	if downKeys != nil {
+		return &DegradedError{Op: "push", Keys: downKeys, Err: downErr}
 	}
 	return nil
 }
@@ -190,6 +236,20 @@ func (c *Client) groupByShard(keys []Key) map[int][]Key {
 		groups[s] = append(groups[s], k)
 	}
 	return groups
+}
+
+// sortedShards returns the group's shard indices in ascending order, so
+// RPC issue order — and with it a DegradedError's key order — is
+// deterministic regardless of map iteration.
+func sortedShards(groups map[int][]Key) []int {
+	shards := make([]int, 0, len(groups))
+	for s, ks := range groups {
+		if len(ks) > 0 {
+			shards = append(shards, s)
+		}
+	}
+	sort.Ints(shards)
+	return shards
 }
 
 // pullWireBytes prices a pull round trip's request (tx) and response (rx)

@@ -1,0 +1,232 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hetkg/internal/metrics"
+)
+
+// The link layer hardens the TCP transport against shard outages: every
+// RPC runs under a per-attempt socket deadline, failed attempts retry with
+// exponential backoff + deterministic jitter, a poisoned connection is
+// re-dialed transparently (re-running the codec handshake, which resets
+// delta-codec base state to the version-0 unbased sentinel), and a
+// per-link circuit breaker (closed → open → half-open) turns a dead shard
+// into a cheap fail-fast instead of a deadline-long stall per call. The
+// clock is injectable so unit tests drive the whole state machine
+// deterministically.
+
+// LinkConfig parameterizes the fault-tolerant RPC behaviour of one
+// transport's shard links. Zero fields take the documented defaults;
+// negative durations/counts disable the corresponding mechanism.
+type LinkConfig struct {
+	// RPCTimeout bounds each RPC attempt (and each dial + handshake):
+	// SetWriteDeadline before the request is encoded, SetReadDeadline
+	// before the response is decoded. Default 10s; negative disables
+	// deadlines.
+	RPCTimeout time.Duration
+	// Retries is how many times a failed attempt is retried (on a fresh
+	// connection) before the call fails with a LinkDownError. Default 3;
+	// negative disables retries.
+	Retries int
+	// RetryBase is the first retry's backoff; attempt n waits
+	// RetryBase·2^(n-1), jittered into [d/2, d). Default 25ms.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff. Default 1s.
+	RetryMax time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// link's circuit breaker. Default 4 (one fully retried RPC under the
+	// default Retries). Negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// allowing one half-open probe. Default 1s.
+	BreakerCooldown time.Duration
+	// Seed keys the backoff jitter (per link, mixed with the shard
+	// index), so retry schedules are reproducible.
+	Seed int64
+	// Now and Sleep inject the clock for the breaker and backoff (tests
+	// substitute a fake; socket deadlines always use real time). Defaults:
+	// time.Now, time.Sleep.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// withDefaults returns cfg with zero fields filled and negative sentinels
+// normalized.
+func (cfg LinkConfig) withDefaults() LinkConfig {
+	switch {
+	case cfg.RPCTimeout == 0:
+		cfg.RPCTimeout = 10 * time.Second
+	case cfg.RPCTimeout < 0:
+		cfg.RPCTimeout = 0
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 3
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Second
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 4
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return cfg
+}
+
+// ErrLinkDown marks RPC failures caused by an unreachable shard link (every
+// retry exhausted, or the circuit breaker open). Callers test with
+// errors.Is to distinguish an outage — survivable via the degraded mode —
+// from application errors, which never carry this mark.
+var ErrLinkDown = errors.New("ps: shard link down")
+
+// LinkDownError is the typed form of ErrLinkDown: which shard, at what
+// address, and the last underlying attempt error.
+type LinkDownError struct {
+	// Shard is the unreachable shard's index.
+	Shard int
+	// Addr is its dial address.
+	Addr string
+	// Breaker reports whether the call was rejected fail-fast by an open
+	// circuit breaker (no attempt was made on the wire).
+	Breaker bool
+	// Err is the last transport-level attempt error (nil only when the
+	// breaker rejected the call before any attempt in this process's
+	// lifetime, which cannot happen in practice).
+	Err error
+}
+
+// Error implements error.
+func (e *LinkDownError) Error() string {
+	if e.Breaker {
+		return fmt.Sprintf("ps: shard %d (%s) unavailable: circuit breaker open (last error: %v)", e.Shard, e.Addr, e.Err)
+	}
+	return fmt.Sprintf("ps: shard %d (%s) unavailable: %v", e.Shard, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying attempt error.
+func (e *LinkDownError) Unwrap() error { return e.Err }
+
+// Is marks every LinkDownError as ErrLinkDown.
+func (e *LinkDownError) Is(target error) bool { return target == ErrLinkDown }
+
+// RemoteError is an application-level refusal from a healthy shard (the
+// wireResponse carried a non-empty Err). The link worked — remote errors
+// never retry, never poison the connection, and never trip the breaker.
+type RemoteError struct {
+	// Msg is the shard's error string.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// noRetryError wraps local, non-transport errors (e.g. a codec encode
+// failure) that must surface immediately without poisoning the connection.
+type noRetryError struct{ err error }
+
+func (e *noRetryError) Error() string { return e.err.Error() }
+func (e *noRetryError) Unwrap() error { return e.err }
+
+// Circuit breaker states: closed passes traffic, open rejects fail-fast,
+// half-open admits a single probe after the cooldown.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one link's circuit breaker. It is guarded by the owning
+// link's mutex; with threshold 0 it never opens.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	state     int
+	failures  int // consecutive failures while closed
+	openedAt  time.Time
+}
+
+// allow reports whether a call may proceed now. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits one probe (the
+// link mutex serializes callers, so exactly one probe is in flight).
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// success records a working RPC; it returns true when the breaker closed
+// from a non-closed state (a recovered link).
+func (b *breaker) success() (recovered bool) {
+	was := b.state
+	b.state = breakerClosed
+	b.failures = 0
+	return was != breakerClosed
+}
+
+// failure records a failed attempt; it returns true when this failure
+// tripped the breaker from closed to open (a half-open probe failure
+// re-opens without counting as a new trip).
+func (b *breaker) failure(now time.Time) (tripped bool) {
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+	case breakerClosed:
+		b.failures++
+		if b.threshold > 0 && b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// linkObs holds a transport's registry-backed ps.link.* series (see
+// TCPTransport.Instrument).
+type linkObs struct {
+	retries   *metrics.Counter
+	reconns   *metrics.Counter
+	failures  *metrics.Counter
+	deadlines *metrics.Counter
+	trips     *metrics.Counter
+	open      *metrics.Gauge
+}
+
+// newLinkObs registers the link-health series in reg.
+func newLinkObs(reg *metrics.Registry) *linkObs {
+	return &linkObs{
+		retries:   reg.Counter(metrics.MPSLinkRetries),
+		reconns:   reg.Counter(metrics.MPSLinkReconnects),
+		failures:  reg.Counter(metrics.MPSLinkFailures),
+		deadlines: reg.Counter(metrics.MPSLinkDeadlineExceeded),
+		trips:     reg.Counter(metrics.MPSLinkBreakerTrips),
+		open:      reg.Gauge(metrics.MPSLinkBreakerOpen),
+	}
+}

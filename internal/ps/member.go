@@ -525,7 +525,7 @@ func DialCoordinator(addr string, timeout time.Duration) (*CoordClient, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("ps: dialing coordinator %s: %w", addr, err)
 	}
@@ -534,11 +534,14 @@ func DialCoordinator(addr string, timeout time.Duration) (*CoordClient, error) {
 		conn.Close()
 		return nil, err
 	}
-	c, err := handshakeClient(conn, prof)
+	// Membership connections carry no pushes, so link id 0 (dedup off).
+	conn.SetDeadline(time.Now().Add(timeout))
+	c, err := handshakeClient(conn, prof, 0)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("ps: handshake with coordinator %s: %w", addr, err)
 	}
+	conn.SetDeadline(time.Time{})
 	return &CoordClient{c: c, timeout: timeout}, nil
 }
 

@@ -23,8 +23,42 @@ type Server struct {
 	rows  map[Key][]float32
 	optim opt.Optimizer
 
+	// lastPush records, per client link identity, the highest push sequence
+	// already applied — the dedup table that makes push retries idempotent
+	// (a retry re-sends the identical payload under the same sequence, so
+	// "already applied" means the gradient landed and only the response was
+	// lost).
+	dedupMu  sync.Mutex
+	lastPush map[uint64]uint64
+
 	obs    *serverObs
 	tracer *span.Tracer
+}
+
+// pushApplied reports whether the (link, seq) push was already applied.
+// Link 0 or seq 0 means dedup is disabled for the request.
+func (s *Server) pushApplied(link, seq uint64) bool {
+	if link == 0 || seq == 0 {
+		return false
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	return seq <= s.lastPush[link]
+}
+
+// markPush records a successfully applied push for dedup.
+func (s *Server) markPush(link, seq uint64) {
+	if link == 0 || seq == 0 {
+		return
+	}
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if s.lastPush == nil {
+		s.lastPush = make(map[uint64]uint64)
+	}
+	if seq > s.lastPush[link] {
+		s.lastPush[link] = seq
+	}
 }
 
 // serverObs holds a shard's registry-backed request series (see Instrument).

@@ -158,6 +158,10 @@ type ProcessView struct {
 	// HitRatio is the windowed cache hit ratio, present only for roles
 	// with a cache (worker, serve) that saw accesses in the window.
 	HitRatio *float64 `json:"hit_ratio,omitempty"`
+	// LinksDown, present only for processes reporting the PS link-layer
+	// gauge, is how many shard links currently sit behind an open circuit
+	// breaker — non-zero means the process is riding out a shard outage.
+	LinksDown *int `json:"links_down,omitempty"`
 	// History is the per-interval series of the role's primary rate,
 	// oldest first — the sparkline feed.
 	History []float64 `json:"history,omitempty"`
@@ -222,6 +226,10 @@ func (f *Fleet) View() FleetView {
 			if ratio, _, ok := p.windowRatio(hm[0], hm[1]); ok {
 				pv.HitRatio = &ratio
 			}
+		}
+		if v, ok := p.newest().snap[metrics.MPSLinkBreakerOpen]; ok {
+			n := int(v.Value)
+			pv.LinksDown = &n
 		}
 		if primary != nil {
 			pv.History = p.rateHistory(primary)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"hetkg/internal/metrics"
 	"hetkg/internal/span"
 )
 
@@ -407,10 +408,16 @@ func (f *Fleet) commStallRule(breaches map[alertKey]breach) {
 		if !ok || first == 0 || newest != first {
 			continue // never had traffic, or traffic still flowing
 		}
+		// A stall with open circuit breakers is a diagnosed outage — the
+		// process is riding it out in degraded mode — not a mystery freeze.
+		msg := fmt.Sprintf("no wire traffic across the last %d reports (total stuck at %d bytes)", p.n, newest)
+		if v, open := p.newest().snap[metrics.MPSLinkBreakerOpen]; open && v.Value > 0 {
+			msg = fmt.Sprintf("shard link down (%d breaker(s) open), no wire traffic across the last %d reports — degraded mode, not frozen", int(v.Value), p.n)
+		}
 		breaches[alertKey{RuleCommStall, k}] = breach{
 			value:     0,
 			threshold: 1,
-			message:   fmt.Sprintf("no wire traffic across the last %d reports (total stuck at %d bytes)", p.n, newest),
+			message:   msg,
 		}
 	}
 }

@@ -486,3 +486,57 @@ func TestPrimaryRate(t *testing.T) {
 		}
 	}
 }
+
+// TestCommStallDegradedDiagnosis pins that a comm stall with open circuit
+// breakers is diagnosed as a shard outage (degraded mode) rather than a
+// mystery freeze, and that the breaker gauge surfaces as LinksDown in the
+// process view.
+func TestCommStallDegradedDiagnosis(t *testing.T) {
+	clk := newFakeClock()
+	f := NewFleet(FleetConfig{Window: 8, Now: clk.Now})
+	send := func(seq, iters, bytes int64, open float64) {
+		snap := counterSnap(map[string]int64{
+			metrics.MTrainIterations: iters,
+			metrics.MPSBytesTx:       bytes,
+			metrics.MPSBytesRx:       bytes,
+		})
+		snap[metrics.MPSLinkBreakerOpen] = metrics.Value{Kind: metrics.KindGauge, Value: open}
+		if err := f.Ingest(Report{Role: RoleWorker, Label: "w0", Seq: seq, Metrics: snap}); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	var seq int64
+	for i := int64(1); i <= 3; i++ {
+		seq++
+		send(seq, i*100, i*1000, 0)
+	}
+	for i := int64(4); i <= 14; i++ { // bytes frozen, one breaker open
+		seq++
+		send(seq, i*100, 3000, 1)
+	}
+	v := f.View()
+	if len(v.Alerts) != 1 || v.Alerts[0].Rule != RuleCommStall {
+		t.Fatalf("alerts = %+v, want comm_stall", v.Alerts)
+	}
+	if !strings.Contains(v.Alerts[0].Message, "degraded mode") {
+		t.Errorf("stall with open breaker should be diagnosed as degraded, got %q", v.Alerts[0].Message)
+	}
+	if len(v.Processes) != 1 || v.Processes[0].LinksDown == nil {
+		t.Fatalf("process view missing links_down: %+v", v.Processes)
+	}
+	if *v.Processes[0].LinksDown != 1 {
+		t.Errorf("links_down = %d, want 1", *v.Processes[0].LinksDown)
+	}
+
+	// Recovery: the breaker closes and traffic resumes — the view reports
+	// the link healthy again (0, not absent).
+	for i := int64(15); i <= 18; i++ {
+		seq++
+		send(seq, i*100, i*1000, 0)
+	}
+	v = f.View()
+	if v.Processes[0].LinksDown == nil || *v.Processes[0].LinksDown != 0 {
+		t.Errorf("links_down after recovery = %v, want 0", v.Processes[0].LinksDown)
+	}
+}

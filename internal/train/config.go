@@ -161,6 +161,22 @@ type Config struct {
 	// (sampling, cache lookup, gradient compute, PS RPCs, wire time, shard
 	// apply). nil disables tracing at zero cost (the tracers stay nil).
 	Spans *span.Collector
+
+	// DegradedMaxStaleness enables the shard-outage degraded mode on
+	// cache-backed trainers: while a shard link is down
+	// (ps.ErrLinkDown), pulls for rows younger than this many iterations
+	// are served from the hot cache and pushes buffer for replay on
+	// reconnect. 0 (default) disables — any link-down error is fatal. The
+	// bound is the degraded mode's correctness contract: a row used for a
+	// gradient is never more than max(Cache.SyncEvery,
+	// DegradedMaxStaleness) iterations stale.
+	DegradedMaxStaleness int
+
+	// DegradedMaxBufferedRows caps the degraded push buffer (distinct
+	// coalesced gradient rows awaiting replay). Exceeding it fails the run
+	// — the explicit bound on how much update mass an outage may defer.
+	// Default 65536 when degraded mode is on.
+	DegradedMaxBufferedRows int
 }
 
 // CacheConfig is the hot-embedding table configuration (§IV-B).
@@ -244,6 +260,12 @@ func (c *Config) Validate() error {
 	}
 	if c.TopKRatio < 0 || c.TopKRatio > 1 {
 		return fmt.Errorf("train: TopKRatio %v outside (0, 1]", c.TopKRatio)
+	}
+	if c.DegradedMaxStaleness < 0 {
+		return fmt.Errorf("train: DegradedMaxStaleness %d < 0", c.DegradedMaxStaleness)
+	}
+	if c.DegradedMaxStaleness > 0 && c.DegradedMaxBufferedRows == 0 {
+		c.DegradedMaxBufferedRows = 65536
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()

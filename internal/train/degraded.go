@@ -1,0 +1,137 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+
+	"hetkg/internal/ps"
+	"hetkg/internal/vec"
+)
+
+// Degraded mode: shard-outage survival for cache-backed trainers. When a
+// pull or push fails because a shard link is down (ps.DegradedError, i.e.
+// every retry exhausted or the circuit breaker open), the worker keeps
+// training instead of dying: pulls for rows still within
+// Config.DegradedMaxStaleness are served from the hot cache, and pushes
+// for the unreachable shard coalesce by key into a bounded buffer that
+// replays once the link recovers. Correctness stays explicit — a row used
+// for a gradient is never staler than max(Cache.SyncEvery,
+// DegradedMaxStaleness) iterations, a never-cached row or a full buffer
+// fails the run, and finalize drains the buffer strictly so no update
+// mass is silently dropped.
+
+// degradedEnabled reports whether this worker may survive a shard outage:
+// the mode is opted into via DegradedMaxStaleness and needs a hot cache
+// to serve stale rows from.
+func (w *worker) degradedEnabled() bool {
+	return w.cfg.DegradedMaxStaleness > 0 && w.hot != nil
+}
+
+// staleServe fills w.rows for deg's unfetched keys from the hot cache,
+// accepting rows up to DegradedMaxStaleness iterations old. Every key must
+// be served — a row that was never cached, or aged past the bound, makes
+// the outage fatal. Returns the set of stale-served keys so the gather
+// path can keep their staleness clocks untouched (only a fresh server
+// value may reset one).
+func (w *worker) staleServe(deg *ps.DegradedError) (map[ps.Key]bool, error) {
+	served := make(map[ps.Key]bool, len(deg.Keys))
+	for _, k := range deg.Keys {
+		row, ok := w.hot.ServeStale(k, w.iteration, w.cfg.DegradedMaxStaleness)
+		if !ok {
+			return nil, fmt.Errorf("train: degraded pull: row %v unavailable within the %d-iteration staleness bound: %w",
+				k, w.cfg.DegradedMaxStaleness, deg.Err)
+		}
+		w.rows[k] = row
+		served[k] = true
+	}
+	if o := w.obs; o != nil {
+		o.degradedStale.Add(int64(len(served)))
+	}
+	return served, nil
+}
+
+// bufferPushes coalesces the unpushed gradient rows into the worker's
+// replay buffer: a key already buffered accumulates (gradient sums
+// commute with the deferred apply), a fresh key claims a buffer slot.
+// Overflowing DegradedMaxBufferedRows makes the outage fatal.
+func (w *worker) bufferPushes(keys []ps.Key, grads map[ps.Key][]float32, cause error) error {
+	if w.pushBuf == nil {
+		w.pushBuf = make(map[ps.Key][]float32)
+	}
+	fresh := 0
+	for _, k := range keys {
+		g, ok := grads[k]
+		if !ok {
+			continue
+		}
+		if buf, exists := w.pushBuf[k]; exists {
+			vec.Add(buf, buf, g)
+			continue
+		}
+		if len(w.pushBuf) >= w.cfg.DegradedMaxBufferedRows {
+			return fmt.Errorf("train: degraded push buffer full (%d rows): %w", len(w.pushBuf), cause)
+		}
+		w.pushBuf[k] = append([]float32(nil), g...)
+		fresh++
+	}
+	if o := w.obs; o != nil && fresh > 0 {
+		o.degradedBuffered.Add(int64(fresh))
+	}
+	return nil
+}
+
+// replayPushes re-sends the buffered gradient rows ahead of the current
+// batch's push (buffered updates for a key must land before newer ones).
+// Rows whose shards answered leave the buffer; rows whose link is still
+// down stay for the next attempt. Only a non-outage error surfaces.
+func (w *worker) replayPushes() error {
+	if len(w.pushBuf) == 0 {
+		return nil
+	}
+	err := w.client.Push(w.pushBuf)
+	if err == nil {
+		if o := w.obs; o != nil {
+			o.degradedReplayed.Add(int64(len(w.pushBuf)))
+		}
+		w.pushBuf = nil
+		return nil
+	}
+	var deg *ps.DegradedError
+	if !errors.As(err, &deg) {
+		return err
+	}
+	down := make(map[ps.Key]bool, len(deg.Keys))
+	for _, k := range deg.Keys {
+		down[k] = true
+	}
+	replayed := 0
+	for k := range w.pushBuf {
+		if !down[k] {
+			delete(w.pushBuf, k)
+			replayed++
+		}
+	}
+	if o := w.obs; o != nil && replayed > 0 {
+		o.degradedReplayed.Add(int64(replayed))
+	}
+	return nil
+}
+
+// drainDegraded is the strict end-of-run replay: every buffered gradient
+// row must land (the shard had the whole run to recover) or the run
+// fails instead of silently dropping update mass. Called by finalize for
+// every worker before embeddings are gathered.
+func (w *worker) drainDegraded() error {
+	if len(w.pushBuf) == 0 {
+		return nil
+	}
+	n := len(w.pushBuf)
+	if err := w.client.Push(w.pushBuf); err != nil {
+		return fmt.Errorf("train: replaying %d buffered degraded push rows: %w", n, err)
+	}
+	if o := w.obs; o != nil {
+		o.degradedReplayed.Add(int64(n))
+	}
+	w.pushBuf = nil
+	return nil
+}

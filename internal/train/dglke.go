@@ -156,6 +156,14 @@ func epochBarrier(cfg *Config, env *psEnv, workers []*worker, epoch int, cum *ti
 // finalize gathers embeddings, runs the final evaluation, and aggregates
 // run-level statistics.
 func finalize(cfg *Config, env *psEnv, workers []*worker, res *Result) (*Result, error) {
+	// A run that trained through a shard outage may still hold buffered
+	// degraded pushes; they must land before the gather or the final
+	// embeddings silently miss update mass.
+	for _, w := range workers {
+		if err := w.drainDegraded(); err != nil {
+			return nil, err
+		}
+	}
 	ents, rels, err := env.cluster.GatherVia(env.tr)
 	if err != nil {
 		return nil, err

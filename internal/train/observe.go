@@ -19,6 +19,14 @@ type trainObs struct {
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
 	comp        *metrics.Timer
+
+	// Degraded-mode accounting (shard-outage survival): batches trained
+	// with a link down, rows stale-served from the cache, gradient rows
+	// buffered for replay, and rows replayed after reconnect.
+	degradedBatches  *metrics.Counter
+	degradedStale    *metrics.Counter
+	degradedBuffered *metrics.Counter
+	degradedReplayed *metrics.Counter
 }
 
 // newTrainObs registers (or re-binds) the train-level series in reg. The
@@ -35,6 +43,11 @@ func newTrainObs(reg *metrics.Registry) *trainObs {
 		cacheHits:   reg.Counter(metrics.MCacheHits),
 		cacheMisses: reg.Counter(metrics.MCacheMisses),
 		comp:        reg.Timer(metrics.MTrainCompWall),
+
+		degradedBatches:  reg.Counter(metrics.MTrainDegradedBatches),
+		degradedStale:    reg.Counter(metrics.MTrainDegradedStaleRows),
+		degradedBuffered: reg.Counter(metrics.MTrainDegradedBufferedRows),
+		degradedReplayed: reg.Counter(metrics.MTrainDegradedReplayedRows),
 	}
 }
 

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -55,6 +56,9 @@ type worker struct {
 	queued []*sampler.Batch
 	// iteration counts processed batches for staleness bookkeeping.
 	iteration int
+	// pushBuf holds gradient rows for unreachable shards, coalesced by
+	// key, awaiting replay (degraded mode; see degraded.go).
+	pushBuf map[ps.Key][]float32
 
 	// Per-epoch accounting, reset by epochStats.
 	compTime  time.Duration
@@ -370,14 +374,30 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 	}
 	scr.missing = missing // keep the grown backing array for reuse
 	lookup.EndAttrs(span.Attrs{Rows: int64(len(ents) + len(rels)), Shard: span.NoShard})
+	degradedBatch := false
 	if len(missing) > 0 {
+		var staleServed map[ps.Key]bool
 		if err := w.client.Pull(missing, w.rows); err != nil {
-			return 0, err
+			var deg *ps.DegradedError
+			if !errors.As(err, &deg) || !w.degradedEnabled() {
+				return 0, err
+			}
+			served, serr := w.staleServe(deg)
+			if serr != nil {
+				return 0, serr
+			}
+			staleServed = served
+			degradedBatch = true
 		}
 		if w.hot != nil {
 			// Freshly pulled hot rows re-enter the table with a reset
 			// staleness clock (the per-row synchronization of Alg. 3).
+			// Stale-served rows keep their old clock: no fresh server value
+			// landed, so their age must keep counting toward the bound.
 			for _, k := range missing {
+				if staleServed[k] {
+					continue
+				}
 				w.hot.Offer(k, w.rows[k], w.iteration)
 			}
 		}
@@ -434,13 +454,26 @@ func (w *worker) processBatch(b *sampler.Batch) (float64, error) {
 			w.ef.Sparsify(k, g)
 		}
 	}
-	if err := w.client.Push(merged.m); err != nil {
+	if err := w.replayPushes(); err != nil {
 		return 0, err
+	}
+	if err := w.client.Push(merged.m); err != nil {
+		var deg *ps.DegradedError
+		if !errors.As(err, &deg) || !w.degradedEnabled() {
+			return 0, err
+		}
+		if berr := w.bufferPushes(deg.Keys, merged.m, deg.Err); berr != nil {
+			return 0, berr
+		}
+		degradedBatch = true
 	}
 	w.iteration++
 	if o := w.obs; o != nil {
 		o.iterations.Inc()
 		o.pairs.Add(int64(pairs))
+		if degradedBatch {
+			o.degradedBatches.Inc()
+		}
 	}
 	if pairs == 0 {
 		return 0, nil

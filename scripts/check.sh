@@ -84,6 +84,31 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
+echo "== OPERATIONS.md link metric coverage lint"
+# Every ps.link.* metric in internal/metrics/names.go must appear in
+# OPERATIONS.md's troubleshooting table: the fault-tolerant link layer
+# (DESIGN.md §13) surfaces its retry/reconnect/breaker behavior through
+# these series, and an outage signal the runbook cannot explain is a
+# defect. The extraction is guarded against going silently empty if the
+# names move: the link layer always defines at least one ps.link.* series.
+linknames=$(sed -n 's/.*= "\(ps\.link\.[a-z0-9_.]*\)"$/\1/p' internal/metrics/names.go)
+if [ -z "$linknames" ]; then
+    echo "internal/metrics/names.go defines no ps.link.* metrics (lint pattern stale?)"
+    echo "check: FAIL (link metric extraction came up empty)"
+    exit 1
+fi
+missing=0
+for name in $linknames; do
+    if ! grep -qF "$name" OPERATIONS.md; then
+        echo "OPERATIONS.md does not document link metric \"$name\""
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "check: FAIL (link metrics missing from the runbook)"
+    exit 1
+fi
+
 echo "== DESIGN.md span coverage lint"
 # Every canonical span name in internal/span/names.go must appear in
 # DESIGN.md §8's span table, so no span is emitted without a documented
