@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hetkg"
+	"hetkg/internal/plan/benchfmt"
 )
 
 func main() {
@@ -33,7 +34,7 @@ func main() {
 		spanDir = flag.String("span", "", "write one span dump per training run into this directory")
 		spanN   = flag.Int("span-every", 0, "batch sampling interval for -span (0 = default 16)")
 		spanFmt = flag.String("span-format", "jsonl", "span output format for -span: jsonl | chrome")
-		bench   = flag.String("bench-out", "", "write machine-readable perf snapshots (BENCH_codecs.json) into this directory")
+		bench   = flag.String("bench-out", "", "write one hetkg-bench/v2 perf snapshot (BENCH_<exp>.json) per experiment into this directory")
 	)
 	flag.Parse()
 
@@ -57,7 +58,6 @@ func main() {
 		SpanDir:     *spanDir,
 		SpanEvery:   *spanN,
 		SpanFormat:  *spanFmt,
-		BenchDir:    *bench,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
@@ -80,6 +80,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failures++
 			continue
+		}
+		if *bench != "" {
+			path, err := benchfmt.WriteDir(*bench, tab.BenchFile())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s snapshot: %v\n", id, err)
+				failures++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "[bench] %s snapshot -> %s\n", id, path)
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)

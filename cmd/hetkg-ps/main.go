@@ -51,8 +51,19 @@ func main() {
 		telAddr  = flag.String("telemetry", "", "ship this shard's metrics to the coordinator at this address (not needed on the coordinator itself)")
 		telEvery = flag.Duration("telemetry-every", 0, "telemetry report cadence (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight connections on SIGINT/SIGTERM")
+		artDir   = flag.String("artifacts", "", "serve dataset generation and partitioning from this content-addressed cache directory")
 	)
 	flag.Parse()
+
+	var store *hetkg.ArtifactStore
+	if *artDir != "" {
+		var err error
+		store, err = hetkg.OpenArtifacts(*artDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "artifacts:", err)
+			os.Exit(1)
+		}
+	}
 
 	shard, err := hetkg.BuildShard(hetkg.RunConfig{
 		Dataset:         *ds,
@@ -64,6 +75,7 @@ func main() {
 		Machines:        *machines,
 		PartitionerName: *partName,
 		Seed:            *seed,
+		Artifacts:       store,
 	}, *machine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "building shard:", err)

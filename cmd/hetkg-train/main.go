@@ -5,6 +5,12 @@
 // Usage:
 //
 //	hetkg-train -dataset fb15k -system hetkg-d -model transe -machines 4 -epochs 5
+//
+// The experiment-semantic flags (dataset, model, cache, codec, ...) are the
+// shared plan surface (internal/plan.BindFlags) — identical names, defaults,
+// and mapping as plan-file `run:` keys — so hetkg-train and `hetkg apply`
+// cannot drift. The flags below them here are deployment concerns (shards,
+// checkpoints, observability) that plans never configure.
 package main
 
 import (
@@ -14,33 +20,14 @@ import (
 	"strings"
 
 	"hetkg"
+	"hetkg/internal/artifact"
+	"hetkg/internal/plan"
 	"hetkg/internal/trace"
 )
 
 func main() {
+	spec := plan.BindFlags(flag.CommandLine)
 	var (
-		ds       = flag.String("dataset", "fb15k", "dataset preset: fb15k | wn18 | freebase86m")
-		scale    = flag.String("scale", "small", "dataset scale: tiny | small | paper")
-		system   = flag.String("system", "hetkg-d", "system: pbg | dglke | hetkg-c | hetkg-d")
-		mdl      = flag.String("model", "transe", "model: transe | transe_l2 | distmult | transh | complex")
-		loss     = flag.String("loss", "logistic", "loss: logistic | ranking")
-		optim    = flag.String("optimizer", "adagrad", "optimizer: adagrad | sgd | adam")
-		margin   = flag.Float64("margin", 1.0, "ranking-loss margin γ")
-		dim      = flag.Int("dim", 0, "embedding dimension d (0 = scale default)")
-		lr       = flag.Float64("lr", 0.1, "AdaGrad learning rate")
-		epochs   = flag.Int("epochs", 0, "training epochs (0 = scale default)")
-		batch    = flag.Int("batch", 0, "positive batch size b_p (0 = scale default)")
-		negs     = flag.Int("negs", 8, "negatives per positive b_n")
-		chunk    = flag.Int("chunk", 8, "negative-sampling chunk size b_c")
-		machines = flag.Int("machines", 4, "cluster machines (PS shards)")
-		workers  = flag.Int("workers", 1, "workers per machine")
-		partName = flag.String("partitioner", "metis", "graph partitioner: metis | random")
-		capacity = flag.Int("cache", 0, "hot-embedding table capacity k (0 = 5% of ids)")
-		syncP    = flag.Int("staleness", 8, "staleness bound P (cache refresh interval)")
-		preD     = flag.Int("prefetch", 16, "prefetch depth D (DPS rebuild interval)")
-		entFrac  = flag.Float64("entity-ratio", 0.25, "entity share of the cache (heterogeneity quota)")
-		noHet    = flag.Bool("no-heterogeneity", false, "disable the entity/relation quota (HET-KG-N)")
-		seed     = flag.Int64("seed", 42, "random seed")
 		inFile   = flag.String("in", "", "train on TSV triples from this file instead of a preset")
 		save     = flag.String("save", "", "write the trained embeddings to this checkpoint file")
 		load     = flag.String("load", "", "resume training from this checkpoint file")
@@ -50,12 +37,10 @@ func main() {
 		ckptDir  = flag.String("ckpt-dir", "", "write per-partition progress snapshots to this directory for crash recovery (with -join)")
 		ckptN    = flag.Int("ckpt-every", 0, "iterations between progress snapshots (0 = 16; with -join)")
 		recoverD = flag.String("recover-from", "", "read adopted partitions' progress snapshots from this directory (default: -ckpt-dir)")
-		codec    = flag.String("codec", "", "wire codec profile: fp32 | fp16 | int8 | delta-int8 | topk | auto (default fp32)")
 		rpcTO    = flag.Duration("rpc-timeout", 0, "per-attempt deadline on remote-shard RPCs (0 = default 10s, negative disables)")
 		rpcRetry = flag.Int("rpc-retries", 0, "retry budget per remote-shard RPC after a link failure (0 = default 3, negative disables)")
-		evalN    = flag.Int("eval-every", 0, "epochs between validation evaluations (0 = every epoch; larger than -epochs defers to the final evaluation only)")
 		degStale = flag.Int("degraded-max-staleness", 0, "ride out shard outages by serving cached rows up to this many iterations stale and buffering pushes for replay (0 = fail fast; hetkg-c/hetkg-d only)")
-		topk     = flag.Float64("topk-ratio", 0, "kept gradient fraction per row for -codec topk (0 = default 0.125)")
+		artDir   = flag.String("artifacts", "", "serve dataset generation and partitioning from this content-addressed cache directory")
 		traceOut = flag.String("trace", "", "write a per-epoch JSONL trace to this file")
 		timeline = flag.String("timeline", "", "write a per-iteration JSONL timeline to this file")
 		tlEvery  = flag.Int("timeline-every", 0, "iterations between timeline records (0 = default)")
@@ -65,20 +50,12 @@ func main() {
 		metAddr  = flag.String("metrics-addr", "", "serve live metrics + pprof on this address (e.g. 127.0.0.1:6060; unauthenticated, loopback only unless -metrics-allow-remote)")
 		metAllow = flag.Bool("metrics-allow-remote", false, "allow -metrics-addr to bind non-loopback addresses (exposes unauthenticated pprof)")
 		machine  = flag.Int("machine", -1, "run only this machine's workers (-1 = all; requires -shards for a real deployment)")
-		advTemp  = flag.Float64("adversarial", 0, "self-adversarial negative sampling temperature (0 = off)")
-		degNegs  = flag.Bool("degree-negatives", false, "corrupt with degree^0.75-weighted entities (hard negatives)")
-		parallel = flag.Int("parallelism", 0, "cores for batch compute and evaluation (0 = all; results identical at any value)")
 	)
 	flag.Parse()
 
-	sys, ok := map[string]hetkg.System{
-		"pbg":     hetkg.SystemPBG,
-		"dglke":   hetkg.SystemDGLKE,
-		"hetkg-c": hetkg.SystemHETKGC,
-		"hetkg-d": hetkg.SystemHETKGD,
-	}[*system]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+	rc, err := spec.RunConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -95,7 +72,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "parse:", err)
 			os.Exit(1)
 		}
-		*ds = *inFile
+		spec.Dataset = *inFile
+		rc.Dataset = *inFile
 	}
 
 	var shardAddrs []string
@@ -128,64 +106,46 @@ func main() {
 		fmt.Printf("metrics: serving http://%s/metrics (+ /debug/pprof)\n", srv.Addr())
 	}
 
-	res, err := hetkg.Run(hetkg.RunConfig{
-		Graph:             custom,
-		Dataset:           *ds,
-		Scale:             hetkg.ParseScale(*scale),
-		System:            sys,
-		ModelName:         *mdl,
-		LossName:          *loss,
-		OptimizerName:     *optim,
-		Margin:            float32(*margin),
-		Dim:               *dim,
-		LR:                float32(*lr),
-		Epochs:            *epochs,
-		BatchSize:         *batch,
-		NegPerPos:         *negs,
-		ChunkSize:         *chunk,
-		Machines:          *machines,
-		WorkersPerMachine: *workers,
-		PartitionerName:   *partName,
-		CacheCapacity:     *capacity,
-		CacheSyncEvery:    *syncP,
-		CachePrefetchD:    *preD,
-		EntityFraction:    *entFrac,
-		NoHeterogeneity:   *noHet,
-		ShardAddrs:        shardAddrs,
-		JoinAddr:          *join,
-		HeartbeatInterval: *hbEvery,
-		CkptDir:           *ckptDir,
-		RecoverFrom:       *recoverD,
-		CkptEvery:         *ckptN,
-		ClusterLogf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-		Codec:                   *codec,
-		TopKRatio:               *topk,
-		RPCTimeout:              *rpcTO,
-		RPCRetries:              *rpcRetry,
-		DegradedMaxStaleness:    *degStale,
-		EvalEvery:               *evalN,
-		Resume:                  resume,
-		LocalMachines:           localMachines(*machine),
-		AdversarialTemp:         float32(*advTemp),
-		DegreeWeightedNegatives: *degNegs,
-		Parallelism:             *parallel,
-		Metrics:                 reg,
-		TimelinePath:            *timeline,
-		TimelineEvery:           *tlEvery,
-		SpanPath:                *spanOut,
-		SpanEvery:               *spanN,
-		SpanFormat:              *spanFmt,
-		Seed:                    *seed,
-	})
+	if *artDir != "" {
+		st, err := artifact.Open(*artDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "artifacts:", err)
+			os.Exit(1)
+		}
+		rc.Artifacts = st
+	}
+
+	// Overlay the deployment-specific configuration onto the shared spec.
+	rc.Graph = custom
+	rc.ShardAddrs = shardAddrs
+	rc.JoinAddr = *join
+	rc.HeartbeatInterval = *hbEvery
+	rc.CkptDir = *ckptDir
+	rc.RecoverFrom = *recoverD
+	rc.CkptEvery = *ckptN
+	rc.ClusterLogf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rc.RPCTimeout = *rpcTO
+	rc.RPCRetries = *rpcRetry
+	rc.DegradedMaxStaleness = *degStale
+	rc.Resume = resume
+	rc.LocalMachines = localMachines(*machine)
+	rc.Metrics = reg
+	rc.TimelinePath = *timeline
+	rc.TimelineEvery = *tlEvery
+	rc.SpanPath = *spanOut
+	rc.SpanEvery = *spanN
+	rc.SpanFormat = *spanFmt
+
+	res, err := hetkg.Run(rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("system=%s dataset=%s scale=%s model=%s machines=%d seed=%d\n",
-		res.System, *ds, *scale, *mdl, *machines, *seed)
+		res.System, spec.Dataset, spec.Scale, spec.Model, spec.Machines, spec.Seed)
 	for _, e := range res.Epochs {
 		fmt.Printf("epoch %2d  loss %.4f  mrr %.3f  comp %v  comm %v  hit %.3f\n",
 			e.Epoch, e.Loss, e.MRR, e.Comp.Round(1e6), e.Comm.Round(1e6), e.HitRatio)
@@ -210,11 +170,11 @@ func main() {
 	}
 	if *traceOut != "" {
 		err := trace.WriteFile(*traceOut, trace.Header{
-			Dataset:  *ds,
-			Model:    *mdl,
+			Dataset:  spec.Dataset,
+			Model:    spec.Model,
 			Dim:      res.Entities.Dim,
-			Machines: *machines,
-			Seed:     *seed,
+			Machines: spec.Machines,
+			Seed:     spec.Seed,
 		}, res)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "trace:", err)
@@ -224,10 +184,10 @@ func main() {
 	}
 	if *save != "" {
 		err := hetkg.WriteCheckpoint(*save, &hetkg.Checkpoint{
-			ModelName: *mdl,
+			ModelName: spec.Model,
 			Dim:       res.Entities.Dim,
-			Dataset:   *ds,
-			Seed:      *seed,
+			Dataset:   spec.Dataset,
+			Seed:      spec.Seed,
 			Epochs:    len(res.Epochs),
 			System:    res.System,
 			Entities:  res.Entities,

@@ -1,0 +1,189 @@
+// hetkg drives declarative experiment plans (DESIGN.md §14).
+//
+// Usage:
+//
+//	hetkg plan examples/plans/codecs.yml
+//	hetkg apply -out . examples/plans/codecs.yml
+//	hetkg compare -plan examples/plans/ci.yml BENCH_ci.json examples/plans/BENCH_baseline.json
+//
+// `plan` resolves the sweep matrix and prints one line per run with its
+// canonical config hash; `apply` executes the matrix in-process — dataset
+// generation and partitioning served from the content-addressed artifact
+// cache — and writes one hetkg-bench/v2 snapshot; `compare` gates a
+// snapshot against a committed baseline and exits non-zero on regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hetkg/internal/artifact"
+	"hetkg/internal/plan"
+	"hetkg/internal/plan/benchfmt"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+const usage = `usage:
+  hetkg plan  [-full] <plan.yml>                 resolve and print the run matrix
+  hetkg apply [-artifacts dir] [-out dir] <plan.yml>
+                                                 execute the plan, write BENCH_<plan>.json
+  hetkg compare [-plan plan.yml] [-q] <current.json> <baseline.json>
+                                                 gate a snapshot against a baseline
+`
+
+// run is the testable entry point: 0 on success, 1 on execution or gate
+// failure, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "plan":
+		return runPlan(args[1:], stdout, stderr)
+	case "apply":
+		return runApply(args[1:], stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "hetkg: unknown verb %q\n%s", args[0], usage)
+		return 2
+	}
+}
+
+func runPlan(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hetkg plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "print full 64-char config hashes")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "hetkg plan: exactly one plan file expected")
+		return 2
+	}
+	p, err := plan.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	runs, err := p.Resolve()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "plan %s: %d run(s)\n", p.Name, len(runs))
+	for i, r := range runs {
+		hash := r.Spec.ShortHash()
+		if *full {
+			hash = r.Hash
+		}
+		fmt.Fprintf(stdout, "%3d  %s  %s\n", i+1, hash, r.Name)
+	}
+	return 0
+}
+
+func runApply(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hetkg apply", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	artDir := fs.String("artifacts", filepath.Join(os.TempDir(), "hetkg-artifacts"),
+		"artifact cache directory (empty = no caching)")
+	outDir := fs.String("out", ".", "directory for the BENCH_<plan>.json snapshot")
+	quiet := fs.Bool("q", false, "suppress per-run progress")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "hetkg apply: exactly one plan file expected")
+		return 2
+	}
+	p, err := plan.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	opt := plan.ApplyOptions{}
+	if *artDir != "" {
+		st, err := artifact.Open(*artDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		opt.Artifacts = st
+	}
+	if !*quiet {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "[apply] "+format+"\n", args...)
+		}
+	}
+	res, err := plan.Apply(p, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	path, err := benchfmt.WriteDir(*outDir, res.File)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d runs, artifact cache: %d hits, %d misses)\n",
+		path, len(res.File.Rows), res.CacheHits, res.CacheMisses)
+	return 0
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hetkg compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	planPath := fs.String("plan", "", "plan file supplying compare tolerances")
+	quiet := fs.Bool("q", false, "print only the verdict")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "hetkg compare: expected <current.json> <baseline.json>")
+		return 2
+	}
+	var tol map[string]float64
+	if *planPath != "" {
+		p, err := plan.Load(*planPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		tol = p.Tolerance
+	}
+	cur, err := benchfmt.Read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	base, err := benchfmt.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	rep := plan.Compare(cur, base, tol)
+	if !*quiet {
+		for _, d := range rep.Deltas {
+			fmt.Fprintln(stdout, " ", d)
+		}
+	}
+	for _, row := range rep.MissingRows {
+		fmt.Fprintf(stdout, "  %s: MISSING ROW\n", row)
+	}
+	for _, f := range rep.MissingFields {
+		fmt.Fprintf(stdout, "  %s: MISSING FIELD\n", f)
+	}
+	fmt.Fprintln(stdout, rep.Summary())
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}

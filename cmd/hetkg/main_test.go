@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetkg/internal/plan/benchfmt"
+)
+
+const testPlan = `
+plan: clitest
+run:
+  scale: tiny
+  epochs: 1
+  machines: 2
+  evalMax: 50
+sweep:
+  codec: [fp32, int8]
+compare:
+  tolerance:
+    wall_ms: 1000      # wall clock is not comparable across machines
+    iters_per_sec: 1000
+`
+
+func writePlan(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.yml")
+	if err := os.WriteFile(path, []byte(testPlan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlanVerbDeterministic(t *testing.T) {
+	path := writePlan(t)
+	var out1, out2, errb strings.Builder
+	if code := run([]string{"plan", path}, &out1, &errb); code != 0 {
+		t.Fatalf("plan exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"plan", path}, &out2, &errb); code != 0 {
+		t.Fatalf("plan exit %d: %s", code, errb.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("plan output not deterministic:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	for _, want := range []string{"plan clitest: 2 run(s)", "codec=fp32", "codec=int8"} {
+		if !strings.Contains(out1.String(), want) {
+			t.Errorf("plan output lacks %q:\n%s", want, out1.String())
+		}
+	}
+}
+
+func TestApplyAndCompareRoundTrip(t *testing.T) {
+	path := writePlan(t)
+	outDir := t.TempDir()
+	artDir := filepath.Join(t.TempDir(), "artifacts")
+
+	var out, errb strings.Builder
+	code := run([]string{"apply", "-artifacts", artDir, "-out", outDir, "-q", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("apply exit %d: %s", code, errb.String())
+	}
+	snap := filepath.Join(outDir, "BENCH_clitest.json")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v (stdout: %s)", err, out.String())
+	}
+
+	// The snapshot gates cleanly against itself.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"compare", "-plan", path, snap, snap}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("self-compare exit %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "compare: OK") {
+		t.Errorf("verdict missing:\n%s", out.String())
+	}
+
+	// Inject a 20% mrr regression into the baseline (baseline better than
+	// current by >tolerance) — the gate must fail.
+	f, err := benchfmt.Read(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Rows {
+		f.Rows[i].Values["mrr"] *= 1.25
+	}
+	inflated := filepath.Join(outDir, "BENCH_inflated.json")
+	data, _ := json.Marshal(f)
+	if err := os.WriteFile(inflated, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"compare", "-plan", path, snap, inflated}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("regression compare exit %d, want 1:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "compare: FAIL") {
+		t.Errorf("regression output:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus-verb"},
+		{"plan"},
+		{"apply"},
+		{"compare", "only-one.json"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"help"}, &out, &errb); code != 0 || !strings.Contains(out.String(), "usage:") {
+		t.Errorf("help exit %d output %q", code, out.String())
+	}
+	// Runtime (not usage) failures exit 1.
+	if code := run([]string{"plan", "/nonexistent.yml"}, &out, &errb); code != 1 {
+		t.Errorf("missing plan file exit %d, want 1", code)
+	}
+}

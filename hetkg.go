@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"time"
 
+	"hetkg/internal/artifact"
 	"hetkg/internal/ckpt"
 	"hetkg/internal/core"
 	"hetkg/internal/dataset"
@@ -89,6 +90,15 @@ func ParseScale(s string) Scale { return dataset.ParseScale(s) }
 
 // Run executes a training run.
 func Run(rc RunConfig) (*Result, error) { return core.Run(rc) }
+
+// ArtifactStore is the content-addressed on-disk cache for expensive
+// deterministic intermediates (synthetic datasets, partitioner outputs).
+// Attach one via RunConfig.Artifacts to skip regeneration across runs and
+// processes; results are bit-identical with or without it.
+type ArtifactStore = artifact.Store
+
+// OpenArtifacts opens (creating if needed) an artifact cache directory.
+func OpenArtifacts(dir string) (*ArtifactStore, error) { return artifact.Open(dir) }
 
 // Graph is an immutable knowledge graph.
 type Graph = kg.Graph

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetkg/internal/artifact"
 	"hetkg/internal/cache"
 	"hetkg/internal/ckpt"
 	"hetkg/internal/dataset"
@@ -86,7 +87,11 @@ type RunConfig struct {
 	// CacheCapacity is the hot-embedding table size (default: 5% of the
 	// entity+relation universe). CacheSyncEvery is P (default 8);
 	// CachePrefetchD is D (default 16); EntityFraction defaults to 0.25.
-	CacheCapacity    int
+	CacheCapacity int
+	// CacheBudget sizes the hot table as a fraction of the entity+relation
+	// universe (the paper's Fig. 8(a) axis) when CacheCapacity is zero —
+	// the sweep-friendly spelling of the same knob (plan key cacheBudget).
+	CacheBudget      float64
 	CacheSyncEvery   int
 	CachePrefetchD   int
 	EntityFraction   float64
@@ -181,6 +186,14 @@ type RunConfig struct {
 	// interval between records (default metrics.DefaultTimelineEvery).
 	TimelinePath  string
 	TimelineEvery int
+
+	// Artifacts, when non-nil, is the content-addressed cache consulted for
+	// expensive deterministic intermediates — synthetic dataset generation
+	// and partitioner output — so repeated runs of the same configuration
+	// skip both (see internal/artifact; hetkg-train/-ps/-data expose it as
+	// -artifacts, hetkg apply opens one by default). Never part of the run's
+	// semantics: results are bit-identical with or without it.
+	Artifacts *artifact.Store
 
 	// SpanPath, when non-empty, enables per-batch span tracing and writes
 	// the collected spans there after the run (parent directories are
@@ -290,7 +303,7 @@ func Run(rc RunConfig) (*train.Result, error) {
 	g := rc.Graph
 	if g == nil {
 		var ok bool
-		g, ok = dataset.ByName(rc.Dataset, rc.Scale, rc.Seed)
+		g, ok = dataset.ByNameCached(rc.Dataset, rc.Scale, rc.Seed, rc.Artifacts)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown dataset %q (have %v)", rc.Dataset, dataset.Names())
 		}
@@ -316,6 +329,7 @@ func Run(rc RunConfig) (*train.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	part = partition.Cached(part, rc.Artifacts)
 	var newOpt func() opt.Optimizer
 	if rc.OptimizerName != "" && rc.OptimizerName != "adagrad" {
 		name, lr := rc.OptimizerName, rc.LR
@@ -325,6 +339,12 @@ func Run(rc RunConfig) (*train.Result, error) {
 		newOpt = func() opt.Optimizer {
 			o, _ := opt.New(name, lr)
 			return o
+		}
+	}
+	if rc.CacheCapacity == 0 && rc.CacheBudget > 0 {
+		rc.CacheCapacity = int(rc.CacheBudget * float64(g.NumEntity+g.NumRel))
+		if rc.CacheCapacity < 1 {
+			rc.CacheCapacity = 1
 		}
 	}
 	if rc.CacheCapacity == 0 {
@@ -490,11 +510,6 @@ type Options struct {
 	SpanDir    string
 	SpanEvery  int
 	SpanFormat string
-	// BenchDir, when non-empty, lets experiments that produce machine-
-	// readable perf snapshots (the codecs sweep's BENCH_codecs.json) write
-	// them under this directory. Left empty — the default, and what the
-	// test suite uses — experiments render tables only and touch no files.
-	BenchDir string
 }
 
 // timelineSeq numbers experiment timeline files within a process, so runs

@@ -30,7 +30,7 @@ func clusterSpec(rc RunConfig) (ps.ClusterConfig, error) {
 	g := rc.Graph
 	if g == nil {
 		var ok bool
-		g, ok = dataset.ByName(rc.Dataset, rc.Scale, rc.Seed)
+		g, ok = dataset.ByNameCached(rc.Dataset, rc.Scale, rc.Seed, rc.Artifacts)
 		if !ok {
 			return ps.ClusterConfig{}, fmt.Errorf("core: unknown dataset %q", rc.Dataset)
 		}
@@ -50,7 +50,7 @@ func clusterSpec(rc RunConfig) (ps.ClusterConfig, error) {
 	if err != nil {
 		return ps.ClusterConfig{}, err
 	}
-	pr, err := part.Partition(sp.Train, rc.Machines)
+	pr, err := partition.Cached(part, rc.Artifacts).Partition(sp.Train, rc.Machines)
 	if err != nil {
 		return ps.ClusterConfig{}, err
 	}

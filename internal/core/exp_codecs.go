@@ -1,13 +1,11 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"time"
 
 	"hetkg/internal/metrics"
+	"hetkg/internal/plan/benchfmt"
 	"hetkg/internal/ps"
 )
 
@@ -27,29 +25,6 @@ func init() {
 	})
 }
 
-// codecBenchRow is one codec's measurements in BENCH_codecs.json.
-type codecBenchRow struct {
-	Codec        string  `json:"codec"`
-	BytesRaw     int64   `json:"bytes_raw"`
-	BytesWire    int64   `json:"bytes_wire"`
-	Ratio        float64 `json:"ratio"`
-	BytesPerIter float64 `json:"bytes_per_iter"`
-	WallMS       float64 `json:"wall_ms"`
-	MRR          float64 `json:"mrr"`
-}
-
-// codecBenchFile is the BENCH_codecs.json schema.
-type codecBenchFile struct {
-	Schema   string          `json:"schema"`
-	Dataset  string          `json:"dataset"`
-	Scale    string          `json:"scale"`
-	Dim      int             `json:"dim"`
-	Machines int             `json:"machines"`
-	Epochs   int             `json:"epochs"`
-	Seed     int64           `json:"seed"`
-	Rows     []codecBenchRow `json:"rows"`
-}
-
 func runCodecs(o Options) (*Table, error) {
 	o.defaults()
 	t := &Table{
@@ -62,14 +37,19 @@ func runCodecs(o Options) (*Table, error) {
 	// int8 savings and no profile could show its asymptotic ratio.
 	dim := commDim(o)
 	const epochs = 2
-	bench := codecBenchFile{
-		Schema:   "hetkg-bench-codecs/v1",
-		Dataset:  "fb15k",
-		Scale:    o.Scale.String(),
-		Dim:      dim,
-		Machines: 4,
-		Epochs:   epochs,
-		Seed:     o.Seed,
+	const machines = 4
+	t.Bench = &benchfmt.File{
+		Name:  "codecs",
+		Scale: o.Scale.String(),
+		Seed:  o.Seed,
+		Meta: map[string]string{
+			"dataset":  "fb15k",
+			"model":    "transe",
+			"system":   "hetkg-d",
+			"dim":      fmt.Sprint(dim),
+			"machines": fmt.Sprint(machines),
+			"epochs":   fmt.Sprint(epochs),
+		},
 	}
 	for _, codec := range []string{
 		ps.ProfileFP32, ps.ProfileFP16, ps.ProfileInt8, ps.ProfileDeltaInt8, ps.ProfileTopK,
@@ -82,7 +62,7 @@ func runCodecs(o Options) (*Table, error) {
 			System:    SystemHETKGD,
 			ModelName: "transe",
 			Dim:       dim,
-			Machines:  bench.Machines,
+			Machines:  machines,
 			Epochs:    epochs,
 			Codec:     codec,
 			Seed:      o.Seed,
@@ -109,39 +89,19 @@ func runCodecs(o Options) (*Table, error) {
 			fmt.Sprintf("%.0f", perIter),
 			fmtDur(wall),
 			fmt.Sprintf("%.3f", res.Final.MRR))
-		bench.Rows = append(bench.Rows, codecBenchRow{
-			Codec:        codec,
-			BytesRaw:     raw,
-			BytesWire:    wire,
-			Ratio:        ratio,
-			BytesPerIter: perIter,
-			WallMS:       float64(wall.Milliseconds()),
-			MRR:          res.Final.MRR,
+		t.Bench.Rows = append(t.Bench.Rows, benchfmt.Row{
+			Name: "codec=" + codec,
+			Values: map[string]float64{
+				"bytes_raw":      float64(raw),
+				"bytes_wire":     float64(wire),
+				"ratio":          ratio,
+				"bytes_per_iter": perIter,
+				"wall_ms":        float64(wall.Milliseconds()),
+				"mrr":            res.Final.MRR,
+			},
 		})
 	}
 	t.Note("ratio = codec payload bytes before / after encoding (pull + push, per-row headers included)")
 	t.Note("claim: delta-int8 >= 3x vs fp32's 1x with matching MRR; topk trades MRR noise for the sparsest pushes")
-	if o.BenchDir != "" {
-		if err := writeCodecBench(o.BenchDir, bench); err != nil {
-			return nil, err
-		}
-		t.Note("snapshot written to %s", filepath.Join(o.BenchDir, "BENCH_codecs.json"))
-	}
 	return t, nil
-}
-
-// writeCodecBench writes the machine-readable sweep snapshot under dir.
-func writeCodecBench(dir string, bench codecBenchFile) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("codecs: creating bench directory: %w", err)
-	}
-	data, err := json.MarshalIndent(bench, "", "  ")
-	if err != nil {
-		return fmt.Errorf("codecs: encoding snapshot: %w", err)
-	}
-	path := filepath.Join(dir, "BENCH_codecs.json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("codecs: writing snapshot: %w", err)
-	}
-	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"hetkg/internal/plan/benchfmt"
 )
 
 // Table is one experiment's output: a titled grid of cells matching the
@@ -16,6 +18,22 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Bench, when an experiment fills it, is the table's machine-readable
+	// hetkg-bench/v2 snapshot with exact (unrounded) values. Experiments
+	// that don't are still benchable: BenchFile falls back to parsing the
+	// rendered cells.
+	Bench *benchfmt.File
+}
+
+// BenchFile returns the table's perf snapshot: the experiment-authored one
+// when present, else a best-effort conversion of the rendered grid (first
+// column = row name, numeric cells = values). This is what `hetkg-bench
+// -bench-out` writes as BENCH_<id>.json for every experiment.
+func (t *Table) BenchFile() *benchfmt.File {
+	if t.Bench != nil {
+		return t.Bench
+	}
+	return benchfmt.FromTable(t.ID, t.Header, t.Rows)
 }
 
 // AddRow appends a row, formatting each cell with %v.

@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"hetkg/internal/artifact"
+	"hetkg/internal/dataset"
+)
+
+func TestCachedMatchesFresh(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.FB15kLike(dataset.Tiny, 42)
+	for _, name := range []string{"metis", "random", "ldg"} {
+		t.Run(name, func(t *testing.T) {
+			fresh, err := New(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Partition(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wrapped := Cached(must(New(name, 42)), st)
+			if wrapped.Name() != name && name != "metis" && name != "ldg" {
+				t.Fatalf("Cached changed the reported name to %q", wrapped.Name())
+			}
+			cold, err := wrapped.Partition(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitsBefore := st.Hits()
+			warm, err := wrapped.Partition(g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Hits() != hitsBefore+1 {
+				t.Fatalf("warm Partition did not hit the cache (hits %d -> %d)",
+					hitsBefore, st.Hits())
+			}
+			if !reflect.DeepEqual(cold.EntityPart, want.EntityPart) {
+				t.Fatal("cold cached partition differs from fresh")
+			}
+			if !reflect.DeepEqual(warm.EntityPart, cold.EntityPart) ||
+				warm.K != cold.K {
+				t.Fatal("warm cached partition differs from cold")
+			}
+			// TripleIdx may gob-decode empty slices as nil; compare content.
+			if len(warm.TripleIdx) != len(cold.TripleIdx) {
+				t.Fatal("TripleIdx length changed through the cache")
+			}
+			for p := range warm.TripleIdx {
+				if len(warm.TripleIdx[p]) != len(cold.TripleIdx[p]) {
+					t.Fatalf("partition %d triple list changed through the cache", p)
+				}
+				for i := range warm.TripleIdx[p] {
+					if warm.TripleIdx[p][i] != cold.TripleIdx[p][i] {
+						t.Fatalf("partition %d triple %d changed through the cache", p, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCachedKeySeparation(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.FB15kLike(dataset.Tiny, 42)
+	p := Cached(must(New("metis", 42)), st)
+	if _, err := p.Partition(g, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different k must miss.
+	if _, err := p.Partition(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits() != 0 {
+		t.Fatal("k=2 aliased the k=4 entry")
+	}
+	// Different partitioner seed must miss.
+	p43 := Cached(must(New("metis", 43)), st)
+	if _, err := p43.Partition(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits() != 0 {
+		t.Fatal("seed 43 aliased the seed 42 entry")
+	}
+	// Different graph content (same sizes, different seed) must miss.
+	g2 := dataset.FB15kLike(dataset.Tiny, 99)
+	if _, err := p.Partition(g2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits() != 0 {
+		t.Fatal("a different graph aliased an existing entry")
+	}
+}
+
+func TestCachedNilStore(t *testing.T) {
+	inner := must(New("metis", 42))
+	if got := Cached(inner, nil); got != inner {
+		t.Fatal("Cached(nil store) must return the partitioner unchanged")
+	}
+}
+
+func must(p Partitioner, err error) Partitioner {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

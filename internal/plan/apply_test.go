@@ -1,0 +1,145 @@
+package plan
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hetkg/internal/artifact"
+	"hetkg/internal/plan/benchfmt"
+)
+
+const applyPlan = `
+plan: apply-test
+run:
+  dataset: fb15k
+  scale: tiny
+  epochs: 1
+  machines: 2
+  evalMax: 50
+sweep:
+  codec: [fp32, int8]
+`
+
+// TestApplyWarmCacheSkipsGeneration is the acceptance proof for the
+// artifact cache: a cold apply misses (and fills) the store; a warm apply
+// of the same plan is served entirely from it — zero misses — while
+// producing bit-identical deterministic measurements.
+func TestApplyWarmCacheSkipsGeneration(t *testing.T) {
+	p, err := Parse([]byte(applyPlan))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st, err := artifact.Open(filepath.Join(t.TempDir(), "artifacts"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	cold, err := Apply(p, ApplyOptions{Artifacts: st, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("cold Apply: %v", err)
+	}
+	if cold.CacheMisses == 0 {
+		t.Fatal("cold apply reported no cache misses — nothing was generated?")
+	}
+	// Both runs share dataset and partition, so run 2 already hits.
+	if cold.CacheHits == 0 {
+		t.Error("cold apply's second run did not reuse the first run's artifacts")
+	}
+
+	warm, err := Apply(p, ApplyOptions{Artifacts: st})
+	if err != nil {
+		t.Fatalf("warm Apply: %v", err)
+	}
+	if warm.CacheMisses != 0 {
+		t.Errorf("warm apply missed %d times, want 0 (generation not skipped)", warm.CacheMisses)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm apply reported no cache hits")
+	}
+
+	// Snapshot shape: one row per resolved run, hashed, with the
+	// conventional measurements.
+	f := cold.File
+	if f.Name != "apply-test" || len(f.Rows) != 2 {
+		t.Fatalf("snapshot = %+v", f)
+	}
+	wantRows := []string{"codec=fp32", "codec=int8"}
+	for i, r := range f.Rows {
+		if r.Name != wantRows[i] {
+			t.Errorf("row %d = %q, want %q", i, r.Name, wantRows[i])
+		}
+		if len(r.Hash) != 64 {
+			t.Errorf("row %q hash = %q", r.Name, r.Hash)
+		}
+		for _, field := range []string{"wall_ms", "iters", "mrr", "loss", "hit_ratio"} {
+			if _, ok := r.Value(field); !ok {
+				t.Errorf("row %q lacks %s (has %v)", r.Name, field, r.Fields())
+			}
+		}
+	}
+
+	// Cached intermediates must not change results: every deterministic
+	// field agrees between the cold and warm passes.
+	for i := range f.Rows {
+		for _, field := range []string{"iters", "mrr", "loss", "hit_ratio", "bytes_raw", "bytes_wire"} {
+			cv := f.Rows[i].Values[field]
+			wv := warm.File.Rows[i].Values[field]
+			if cv != wv {
+				t.Errorf("row %q %s: cold %v != warm %v", f.Rows[i].Name, field, cv, wv)
+			}
+		}
+	}
+
+	// int8 must actually compress relative to raw.
+	if r, ok := f.RowByName("codec=int8"); ok {
+		if r.Values["bytes_wire"] >= r.Values["bytes_raw"] {
+			t.Errorf("int8 wire bytes %v not below raw %v", r.Values["bytes_wire"], r.Values["bytes_raw"])
+		}
+	}
+}
+
+// TestApplyNoStore runs a single-run plan without a cache attached.
+func TestApplyNoStore(t *testing.T) {
+	p, err := Parse([]byte("plan: bare\nrun:\n  scale: tiny\n  epochs: 1\n  machines: 2\n  evalMax: 50"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	res, err := Apply(p, ApplyOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 0 {
+		t.Errorf("storeless apply counted cache traffic: %+v", res)
+	}
+	if len(res.File.Rows) != 1 || res.File.Rows[0].Name != "base" {
+		t.Fatalf("rows = %+v", res.File.Rows)
+	}
+}
+
+// TestApplySnapshotGatesItself closes the loop: an apply's own snapshot
+// passes Compare against itself under the plan's tolerances.
+func TestApplySnapshotGatesItself(t *testing.T) {
+	p, err := Parse([]byte("plan: gate\nrun:\n  scale: tiny\n  epochs: 1\n  machines: 2\n  evalMax: 50"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	res, err := Apply(p, ApplyOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if rep := Compare(res.File, res.File, p.Tolerance); !rep.OK() {
+		t.Fatalf("self-compare failed: %s", rep.Summary())
+	}
+	// Round-trip through the on-disk format.
+	path, err := benchfmt.WriteDir(t.TempDir(), res.File)
+	if err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	loaded, err := benchfmt.Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if rep := Compare(res.File, loaded, p.Tolerance); !rep.OK() {
+		t.Fatalf("round-tripped compare failed: %s", rep.Summary())
+	}
+}

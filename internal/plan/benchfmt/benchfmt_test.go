@@ -1,0 +1,128 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := &File{
+		Name:  "codecs",
+		Scale: "tiny",
+		Seed:  42,
+		Meta:  map[string]string{"dataset": "fb15k"},
+		Rows: []Row{
+			{Name: "codec=fp32", Hash: strings.Repeat("ab", 32), Values: map[string]float64{"mrr": 0.41, "wall_ms": 120.5}},
+			{Name: "codec=int8", Values: map[string]float64{"mrr": 0.40}},
+		},
+	}
+	path, err := WriteDir(t.TempDir(), f)
+	if err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	if filepath.Base(path) != "BENCH_codecs.json" {
+		t.Errorf("path = %s", path)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.SchemaName != Schema {
+		t.Errorf("schema = %q", got.SchemaName)
+	}
+	if !reflect.DeepEqual(got.Rows, f.Rows) || got.Name != f.Name || got.Seed != f.Seed {
+		t.Fatalf("round trip:\n%+v\nwant\n%+v", got, f)
+	}
+	r, ok := got.RowByName("codec=int8")
+	if !ok || r.Values["mrr"] != 0.40 {
+		t.Errorf("RowByName = %+v, %v", r, ok)
+	}
+	if _, ok := got.RowByName("nope"); ok {
+		t.Error("RowByName found a phantom row")
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct{ name, body, wantSub string }{
+		{"bad-schema.json", `{"schema":"hetkg-bench-codecs/v1","name":"x","rows":[]}`, "schema"},
+		{"no-name.json", `{"schema":"hetkg-bench/v2","rows":[]}`, "names no plan"},
+		{"anon-row.json", `{"schema":"hetkg-bench/v2","name":"x","rows":[{"values":{"a":1}}]}`, "no name"},
+		{"garbage.json", `not json`, "parsing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(write(tc.name, tc.body))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Read error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+	if _, err := Read(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("Read of a missing file succeeded")
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	header := []string{"Codec", "MRR", "Wall", "B/iter", "Ratio", "Hit ratio"}
+	rows := [][]string{
+		{"fp32", "0.412", "1.5s", "8192", "1.00x", "85%"},
+		{"int8", "0.409", "912ms", "2048", "4.00x", "85%"},
+		{"empty", "", "", "", "", ""},
+	}
+	f := FromTable("codecs", header, rows)
+	if f.Name != "codecs" || f.SchemaName != Schema {
+		t.Fatalf("file = %+v", f)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows = %+v (all-empty row should drop)", f.Rows)
+	}
+	fp32 := f.Rows[0]
+	want := map[string]float64{
+		"mrr":       0.412,
+		"wall_ms":   1500,
+		"b_iter":    8192,
+		"ratio":     1.0,
+		"hit_ratio": 0.85,
+	}
+	if !reflect.DeepEqual(fp32.Values, want) {
+		t.Fatalf("fp32 values = %+v, want %+v", fp32.Values, want)
+	}
+	if f.Rows[1].Values["wall_ms"] != 912 {
+		t.Errorf("int8 wall_ms = %v", f.Rows[1].Values["wall_ms"])
+	}
+}
+
+func TestNormalizeField(t *testing.T) {
+	cases := map[string]string{
+		"MRR":         "mrr",
+		"B/iter":      "b_iter",
+		"Hit ratio":   "hit_ratio",
+		"  Wall  ":    "wall",
+		"iters/sec":   "iters_sec",
+		"++":          "",
+		"Bytes (raw)": "bytes_raw",
+	}
+	for in, want := range cases {
+		if got := NormalizeField(in); got != want {
+			t.Errorf("NormalizeField(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRowFieldsSorted(t *testing.T) {
+	r := Row{Values: map[string]float64{"z": 1, "a": 2, "m": 3}}
+	if got := r.Fields(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Fatalf("Fields = %v", got)
+	}
+}

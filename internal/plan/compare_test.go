@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"hetkg/internal/plan/benchfmt"
+)
+
+func snapshot(rows ...benchfmt.Row) *benchfmt.File {
+	return &benchfmt.File{SchemaName: benchfmt.Schema, Name: "t", Rows: rows}
+}
+
+func row(name string, kv ...any) benchfmt.Row {
+	r := benchfmt.Row{Name: name, Values: map[string]float64{}}
+	for i := 0; i < len(kv); i += 2 {
+		r.Values[kv[i].(string)] = kv[i+1].(float64)
+	}
+	return r
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := snapshot(row("a", "mrr", 0.5, "wall_ms", 100.0, "bytes_wire", 1000.0))
+	rep := Compare(base, base, nil)
+	if !rep.OK() {
+		t.Fatalf("identical snapshots fail: %s", rep.Summary())
+	}
+	if len(rep.Deltas) != 3 {
+		t.Fatalf("Deltas = %d, want 3", len(rep.Deltas))
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := snapshot(row("a", "mrr", 0.5))
+	cur := snapshot(row("a", "mrr", 0.44)) // 12% drop > default 8%
+	rep := Compare(cur, base, nil)
+	if rep.OK() || rep.Regressions != 1 {
+		t.Fatalf("12%% mrr regression passed: %s", rep.Summary())
+	}
+	d := rep.Deltas[0]
+	if !d.Regressed || d.Rel < 0.1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if !strings.Contains(d.String(), "REGRESSED") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestCompareDirectionAware(t *testing.T) {
+	base := snapshot(row("a", "mrr", 0.5, "bytes_wire", 1000.0, "loss", 1.0, "iters_per_sec", 100.0))
+
+	// Quality up, traffic down, loss down, throughput up: all improvements.
+	better := snapshot(row("a", "mrr", 0.7, "bytes_wire", 500.0, "loss", 0.5, "iters_per_sec", 200.0))
+	if rep := Compare(better, base, nil); !rep.OK() {
+		t.Fatalf("improvements flagged as regressions: %s", rep.Summary())
+	}
+
+	// Traffic up 50%: a regression even though the number grew.
+	worse := snapshot(row("a", "mrr", 0.5, "bytes_wire", 1500.0, "loss", 1.0, "iters_per_sec", 100.0))
+	if rep := Compare(worse, base, nil); rep.OK() {
+		t.Fatal("bytes_wire growth passed the gate")
+	}
+}
+
+func TestComparePerFieldTolerance(t *testing.T) {
+	base := snapshot(row("a", "wall_ms", 100.0, "mrr", 0.5))
+	cur := snapshot(row("a", "wall_ms", 900.0, "mrr", 0.5)) // 9x slower
+	tol := map[string]float64{"wall_ms": 10}                // wall clock is machine noise here
+	if rep := Compare(cur, base, tol); !rep.OK() {
+		t.Fatalf("wall_ms tolerance not honored: %s", rep.Summary())
+	}
+	// Without the override the same delta fails.
+	if rep := Compare(cur, base, nil); rep.OK() {
+		t.Fatal("9x wall_ms regression passed with default tolerance")
+	}
+}
+
+func TestCompareMissingRowAndField(t *testing.T) {
+	base := snapshot(row("a", "mrr", 0.5), row("b", "mrr", 0.6))
+	cur := snapshot(row("a", "wall_ms", 10.0))
+	rep := Compare(cur, base, nil)
+	if rep.OK() {
+		t.Fatal("missing measurements passed the gate")
+	}
+	if len(rep.MissingRows) != 1 || rep.MissingRows[0] != "b" {
+		t.Errorf("MissingRows = %v", rep.MissingRows)
+	}
+	if len(rep.MissingFields) != 1 || rep.MissingFields[0] != "a/mrr" {
+		t.Errorf("MissingFields = %v", rep.MissingFields)
+	}
+	if !strings.Contains(rep.Summary(), "FAIL") {
+		t.Errorf("Summary = %q", rep.Summary())
+	}
+}
+
+func TestCompareExtraCurrentDataIgnored(t *testing.T) {
+	base := snapshot(row("a", "mrr", 0.5))
+	cur := snapshot(row("a", "mrr", 0.5, "hit_ratio", 0.9), row("new", "mrr", 0.1))
+	if rep := Compare(cur, base, nil); !rep.OK() {
+		t.Fatalf("new rows/fields broke the gate: %s", rep.Summary())
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := snapshot(row("a", "bytes_wire", 0.0))
+	same := snapshot(row("a", "bytes_wire", 0.0))
+	if rep := Compare(same, base, nil); !rep.OK() {
+		t.Fatalf("0 -> 0 failed: %s", rep.Summary())
+	}
+	grew := snapshot(row("a", "bytes_wire", 512.0))
+	if rep := Compare(grew, base, nil); rep.OK() {
+		t.Fatal("0 -> 512 bytes passed the gate")
+	}
+}

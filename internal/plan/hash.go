@@ -1,0 +1,63 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// specHashVersion versions the canonical serialization. Bump it when the
+// spec gains or loses a field or a value's formatting changes: every hash
+// moves at once, which reads as a universal cache miss — never as a stale
+// artifact served under a new meaning.
+const specHashVersion = "hetkg-spec/v1"
+
+// Canonical renders the normalized spec as its canonical serialization:
+// one `key=value` line per plan-tagged field, sorted by key. The encoding
+// is field-order-independent by construction (the walk sorts on tag names,
+// not declaration order) and injective per field (strings are quoted, so a
+// value can never forge a neighboring key).
+func (s RunSpec) Canonical() string {
+	s.Normalize()
+	var b strings.Builder
+	b.WriteString(specHashVersion)
+	b.WriteByte('\n')
+	v := reflect.ValueOf(s)
+	for _, f := range specFields() {
+		b.WriteString(f.Tag.Get("plan"))
+		b.WriteByte('=')
+		b.WriteString(canonicalValue(v.FieldByIndex(f.Index)))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Hash is the canonical config hash: hex SHA-256 of Canonical(). It names
+// artifact-cache entries and ties BENCH rows to the exact configuration
+// that produced them.
+func (s RunSpec) Hash() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ShortHash is the display form (12 hex chars, like git's abbreviations).
+func (s RunSpec) ShortHash() string { return s.Hash()[:12] }
+
+// canonicalValue formats one field value deterministically.
+func canonicalValue(fv reflect.Value) string {
+	switch fv.Kind() {
+	case reflect.String:
+		return strconv.Quote(fv.String())
+	case reflect.Int, reflect.Int64:
+		return strconv.FormatInt(fv.Int(), 10)
+	case reflect.Float64:
+		return strconv.FormatFloat(fv.Float(), 'g', -1, 64)
+	case reflect.Bool:
+		return strconv.FormatBool(fv.Bool())
+	default:
+		panic(fmt.Sprintf("plan: unhashable spec field kind %s", fv.Kind()))
+	}
+}

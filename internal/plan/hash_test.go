@@ -1,0 +1,127 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHashFieldOrderIndependence feeds the same configuration through two
+// plan files whose run keys appear in reversed orders: the canonical hash
+// must not see declaration order.
+func TestHashFieldOrderIndependence(t *testing.T) {
+	a := `
+plan: p
+run:
+  dataset: wn18
+  scale: tiny
+  codec: int8
+  lr: 0.05
+  epochs: 4
+`
+	b := `
+plan: p
+run:
+  epochs: 4
+  lr: 0.05
+  codec: int8
+  scale: tiny
+  dataset: wn18
+`
+	pa, err := Parse([]byte(a))
+	if err != nil {
+		t.Fatalf("Parse a: %v", err)
+	}
+	pb, err := Parse([]byte(b))
+	if err != nil {
+		t.Fatalf("Parse b: %v", err)
+	}
+	if pa.Base.Hash() != pb.Base.Hash() {
+		t.Fatalf("hashes differ across key orders:\n%s\nvs\n%s", pa.Base.Canonical(), pb.Base.Canonical())
+	}
+}
+
+// TestHashSpelledOutDefaults: a spec that spells a default value explicitly
+// hashes identically to one that leaves it zero (Normalize fills it).
+func TestHashSpelledOutDefaults(t *testing.T) {
+	var implicit RunSpec
+	explicit := DefaultSpec()
+	if implicit.Hash() != explicit.Hash() {
+		t.Fatalf("implicit and explicit defaults hash differently:\n%s\nvs\n%s",
+			implicit.Canonical(), explicit.Canonical())
+	}
+}
+
+// TestHashSensitivity mutates every plan-tagged field in turn and demands a
+// hash change: no knob may be semantically invisible.
+func TestHashSensitivity(t *testing.T) {
+	base := DefaultSpec()
+	baseHash := base.Hash()
+	seen := map[string]string{baseHash: "(base)"}
+	for _, f := range specFields() {
+		key := f.Tag.Get("plan")
+		s := base
+		fv := reflect.ValueOf(&s).Elem().FieldByIndex(f.Index)
+		switch fv.Kind() {
+		case reflect.String:
+			fv.SetString(fv.String() + "-mut")
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(fv.Int() + 101)
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() + 0.625)
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		default:
+			t.Fatalf("field %s has untested kind %s", key, fv.Kind())
+		}
+		h := s.Hash()
+		if h == baseHash {
+			t.Errorf("mutating %q did not change the hash", key)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutations of %q and %s collide", key, prev)
+		}
+		seen[h] = key
+	}
+}
+
+// TestCanonicalFormat pins the serialization's shape: versioned first line,
+// one sorted key=value line per field, quoted strings.
+func TestCanonicalFormat(t *testing.T) {
+	c := DefaultSpec().Canonical()
+	lines := strings.Split(strings.TrimSuffix(c, "\n"), "\n")
+	if lines[0] != specHashVersion {
+		t.Fatalf("first line = %q, want %q", lines[0], specHashVersion)
+	}
+	keys := SpecKeys()
+	if len(lines)-1 != len(keys) {
+		t.Fatalf("%d value lines, want %d", len(lines)-1, len(keys))
+	}
+	for i, key := range keys {
+		if !strings.HasPrefix(lines[i+1], key+"=") {
+			t.Errorf("line %d = %q, want prefix %q", i+1, lines[i+1], key+"=")
+		}
+	}
+	if !strings.Contains(c, `dataset="fb15k"`) {
+		t.Errorf("canonical form does not quote strings:\n%s", c)
+	}
+	if !sortedStrings(keys) {
+		t.Errorf("SpecKeys not sorted: %v", keys)
+	}
+}
+
+func TestShortHash(t *testing.T) {
+	s := DefaultSpec()
+	if sh := s.ShortHash(); len(sh) != 12 || !strings.HasPrefix(s.Hash(), sh) {
+		t.Fatalf("ShortHash = %q for hash %q", sh, s.Hash())
+	}
+}
+
+func sortedStrings(ss []string) bool {
+	for i := 1; i < len(ss); i++ {
+		if ss[i-1] >= ss[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+// Package plan is the declarative experiment layer: a hetkg.yml file
+// declares a run configuration plus a sweep matrix, `hetkg plan` resolves
+// it into a deterministic run list with canonical config hashes, and
+// `hetkg apply` executes the list in-process — generation-heavy
+// intermediates served from the content-addressed artifact cache — and
+// emits one hetkg-bench/v2 snapshot that `hetkg compare` gates against a
+// committed baseline. DESIGN.md §14 documents the schema, hash scheme, and
+// cache layout.
+package plan
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan is one parsed hetkg.yml: a named base configuration, an optional
+// sweep matrix, and optional compare tolerances.
+type Plan struct {
+	// Name identifies the plan; the BENCH snapshot is BENCH_<Name>.json.
+	Name string
+	// Base is the `run:` section over the repo defaults.
+	Base RunSpec
+	// Sweep is the `sweep:` matrix, axes sorted by key. Every resolved run
+	// is Base plus one assignment from each axis.
+	Sweep []SweepAxis
+	// Tolerance is the `compare: tolerance:` map — per-field relative
+	// regression budgets for `hetkg compare` (see Compare).
+	Tolerance map[string]float64
+}
+
+// SweepAxis is one swept key and its values, in declaration order.
+type SweepAxis struct {
+	Key    string
+	Values []any
+}
+
+// Run is one resolved run of a plan's matrix.
+type Run struct {
+	// Name is the sweep assignment ("cacheBudget=0.01,codec=fp32"), or
+	// "base" for a sweepless plan — the BENCH row name.
+	Name string
+	// Spec is the fully-resolved configuration.
+	Spec RunSpec
+	// Hash is Spec.Hash(), the canonical config hash.
+	Hash string
+}
+
+// Load reads and parses a plan file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+// Parse parses plan source. Unknown keys anywhere are errors — a typoed
+// knob must fail loudly, not silently fall back to a default.
+func Parse(src []byte) (*Plan, error) {
+	doc, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Base: DefaultSpec()}
+	for key, val := range doc {
+		switch key {
+		case "plan":
+			name, ok := val.(string)
+			if !ok || name == "" {
+				return nil, fmt.Errorf("plan: `plan:` must name the plan (a non-empty string)")
+			}
+			p.Name = name
+		case "run":
+			if val == nil {
+				continue
+			}
+			m, ok := val.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("plan: `run:` must be a mapping of run keys")
+			}
+			for k, v := range m {
+				if err := setSpecKey(&p.Base, k, v); err != nil {
+					return nil, err
+				}
+			}
+		case "sweep":
+			if val == nil {
+				continue
+			}
+			m, ok := val.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("plan: `sweep:` must be a mapping of run keys to value lists")
+			}
+			axes, err := parseSweep(m)
+			if err != nil {
+				return nil, err
+			}
+			p.Sweep = axes
+		case "compare":
+			tol, err := parseCompare(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Tolerance = tol
+		default:
+			return nil, fmt.Errorf("plan: unknown top-level key %q (have plan, run, sweep, compare)", key)
+		}
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("plan: missing `plan:` name")
+	}
+	if !validPlanName(p.Name) {
+		return nil, fmt.Errorf("plan: name %q must be letters, digits, - or _ (it names BENCH_<plan>.json)", p.Name)
+	}
+	return p, nil
+}
+
+// parseSweep validates the matrix: every axis must be a known run key with
+// a non-empty list of scalars, each of which must coerce into the field.
+func parseSweep(m map[string]any) ([]SweepAxis, error) {
+	axes := make([]SweepAxis, 0, len(m))
+	for k, v := range m {
+		list, ok := v.([]any)
+		if !ok {
+			return nil, fmt.Errorf("plan: sweep key %q must list values ([a, b] or `- a` items)", k)
+		}
+		if len(list) == 0 {
+			return nil, fmt.Errorf("plan: sweep key %q has no values", k)
+		}
+		for _, item := range list {
+			var probe RunSpec
+			if err := setSpecKey(&probe, k, item); err != nil {
+				return nil, fmt.Errorf("%w (sweep key %q)", err, k)
+			}
+		}
+		axes = append(axes, SweepAxis{Key: k, Values: list})
+	}
+	sort.Slice(axes, func(i, j int) bool { return axes[i].Key < axes[j].Key })
+	return axes, nil
+}
+
+// parseCompare validates `compare: tolerance: {field: fraction}`.
+func parseCompare(val any) (map[string]float64, error) {
+	if val == nil {
+		return nil, nil
+	}
+	m, ok := val.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("plan: `compare:` must be a mapping")
+	}
+	var tol map[string]float64
+	for k, v := range m {
+		if k != "tolerance" {
+			return nil, fmt.Errorf("plan: unknown compare key %q (have tolerance)", k)
+		}
+		tm, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("plan: `tolerance:` must map fields to fractions")
+		}
+		tol = make(map[string]float64, len(tm))
+		for field, fv := range tm {
+			switch n := fv.(type) {
+			case float64:
+				tol[field] = n
+			case int64:
+				tol[field] = float64(n)
+			default:
+				return nil, fmt.Errorf("plan: tolerance %q wants a number, got %v (%T)", field, fv, fv)
+			}
+			if tol[field] < 0 {
+				return nil, fmt.Errorf("plan: tolerance %q is negative", field)
+			}
+		}
+	}
+	return tol, nil
+}
+
+// Resolve expands the sweep matrix into the deterministic run list: axes in
+// sorted key order, the cartesian product enumerated odometer-style with
+// the last axis fastest, each run named by its assignment and stamped with
+// its canonical config hash.
+func (p *Plan) Resolve() ([]Run, error) {
+	if len(p.Sweep) == 0 {
+		spec := p.Base
+		spec.Normalize()
+		return []Run{{Name: "base", Spec: spec, Hash: spec.Hash()}}, nil
+	}
+	counts := make([]int, len(p.Sweep))
+	total := 1
+	for i, ax := range p.Sweep {
+		counts[i] = len(ax.Values)
+		total *= counts[i]
+	}
+	runs := make([]Run, 0, total)
+	idx := make([]int, len(p.Sweep))
+	for {
+		spec := p.Base
+		parts := make([]string, len(p.Sweep))
+		for i, ax := range p.Sweep {
+			val := ax.Values[idx[i]]
+			if err := setSpecKey(&spec, ax.Key, val); err != nil {
+				return nil, err
+			}
+			parts[i] = ax.Key + "=" + scalarString(val)
+		}
+		spec.Normalize()
+		runs = append(runs, Run{Name: strings.Join(parts, ","), Spec: spec, Hash: spec.Hash()})
+		// Advance the odometer, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < counts[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return runs, nil
+		}
+	}
+}
+
+// scalarString renders a sweep value for run names, matching the canonical
+// number formatting so names are stable across parses.
+func scalarString(v any) string {
+	switch n := v.(type) {
+	case string:
+		return n
+	case int64:
+		return strconv.FormatInt(n, 10)
+	case float64:
+		return strconv.FormatFloat(n, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(n)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// validPlanName keeps plan names path- and row-safe.
+func validPlanName(s string) bool {
+	for _, r := range s {
+		ok := r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePlan = `
+plan: codecs
+run:
+  dataset: fb15k
+  scale: tiny
+  epochs: 2
+  machines: 2
+sweep:
+  codec: [fp32, int8, delta-int8]
+  cacheBudget: [0.01, 0.05]
+compare:
+  tolerance:
+    wall_ms: 10
+    mrr: 0.02
+`
+
+func TestParsePlan(t *testing.T) {
+	p, err := Parse([]byte(samplePlan))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "codecs" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if p.Base.Scale != "tiny" || p.Base.Epochs != 2 || p.Base.Machines != 2 {
+		t.Errorf("Base = %+v", p.Base)
+	}
+	// Axes sort by key: cacheBudget before codec.
+	if len(p.Sweep) != 2 || p.Sweep[0].Key != "cacheBudget" || p.Sweep[1].Key != "codec" {
+		t.Fatalf("Sweep = %+v", p.Sweep)
+	}
+	if p.Tolerance["wall_ms"] != 10 || p.Tolerance["mrr"] != 0.02 {
+		t.Errorf("Tolerance = %+v", p.Tolerance)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"missing name", "run:\n  epochs: 1", "missing `plan:` name"},
+		{"bad name", "plan: a/b", "BENCH_<plan>.json"},
+		{"unknown top key", "plan: p\nsweeps:\n  codec: [a]", "unknown top-level key"},
+		{"unknown run key", "plan: p\nrun:\n  codecs: int8", "unknown run key"},
+		{"unknown sweep key", "plan: p\nsweep:\n  bogus: [1]", "unknown run key"},
+		{"sweep not list", "plan: p\nsweep:\n  codec: int8", "must list values"},
+		{"sweep empty", "plan: p\nsweep:\n  codec: []", "has no values"},
+		{"sweep bad type", "plan: p\nsweep:\n  epochs: [one]", "wants an integer"},
+		{"run bad type", "plan: p\nrun:\n  epochs: soon", "wants an integer"},
+		{"bad compare key", "plan: p\ncompare:\n  budget: 1", "unknown compare key"},
+		{"bad tolerance", "plan: p\ncompare:\n  tolerance:\n    mrr: big", "wants a number"},
+		{"negative tolerance", "plan: p\ncompare:\n  tolerance:\n    mrr: -0.1", "is negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestResolveMatrix(t *testing.T) {
+	p, err := Parse([]byte(samplePlan))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	runs, err := p.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	wantNames := []string{
+		"cacheBudget=0.01,codec=fp32",
+		"cacheBudget=0.01,codec=int8",
+		"cacheBudget=0.01,codec=delta-int8",
+		"cacheBudget=0.05,codec=fp32",
+		"cacheBudget=0.05,codec=int8",
+		"cacheBudget=0.05,codec=delta-int8",
+	}
+	if len(runs) != len(wantNames) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(wantNames))
+	}
+	seenHash := map[string]string{}
+	for i, r := range runs {
+		if r.Name != wantNames[i] {
+			t.Errorf("run %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		if len(r.Hash) != 64 {
+			t.Errorf("run %q hash = %q, want 64 hex chars", r.Name, r.Hash)
+		}
+		if prev, dup := seenHash[r.Hash]; dup {
+			t.Errorf("runs %q and %q share hash %s", prev, r.Name, r.Hash)
+		}
+		seenHash[r.Hash] = r.Name
+		if r.Spec.Hash() != r.Hash {
+			t.Errorf("run %q hash does not match its spec", r.Name)
+		}
+	}
+
+	// Resolution is deterministic across parses.
+	p2, _ := Parse([]byte(samplePlan))
+	runs2, _ := p2.Resolve()
+	for i := range runs {
+		if runs[i].Name != runs2[i].Name || runs[i].Hash != runs2[i].Hash {
+			t.Fatalf("resolution not deterministic at run %d", i)
+		}
+	}
+}
+
+func TestResolveNoSweep(t *testing.T) {
+	p, err := Parse([]byte("plan: single\nrun:\n  scale: tiny"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	runs, err := p.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(runs) != 1 || runs[0].Name != "base" {
+		t.Fatalf("runs = %+v, want one run named base", runs)
+	}
+}
+
+func TestLoadReportsPath(t *testing.T) {
+	_, err := Load("/nonexistent/hetkg.yml")
+	if err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}

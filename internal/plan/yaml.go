@@ -1,0 +1,305 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plans are YAML so they read like every other infra config a user touches,
+// but the repo is dependency-free, so this file implements the small YAML
+// subset plans actually need rather than importing a parser:
+//
+//   - block mappings nested by space indentation (`key: value`, `key:` +
+//     indented block);
+//   - block sequences of scalars (`- item`);
+//   - flow sequences of scalars (`[a, b, c]`) — the natural sweep spelling;
+//   - scalars: null/~, true/false, integers, floats, single- or
+//     double-quoted strings, bare strings;
+//   - `#` comments and blank lines.
+//
+// Anything outside the subset — anchors, multi-document streams, block
+// scalars, tabs in indentation, flow mappings — is a parse error with a
+// line number, never a silent misread. DESIGN.md §14 documents the subset.
+
+// yamlError is a parse error with a 1-based source line.
+type yamlError struct {
+	line int
+	msg  string
+}
+
+// Error renders the message with its source line.
+func (e *yamlError) Error() string { return fmt.Sprintf("plan: line %d: %s", e.line, e.msg) }
+
+func yamlErrf(line int, format string, args ...any) error {
+	return &yamlError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// yamlLine is one significant source line.
+type yamlLine struct {
+	num     int // 1-based source line
+	indent  int
+	content string
+}
+
+// parseYAML parses a document whose top level is a mapping.
+func parseYAML(src []byte) (map[string]any, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, yamlErrf(lines[next].num, "unexpected de-indented content after the document")
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, yamlErrf(lines[0].num, "document must be a mapping (key: value), not a list")
+	}
+	return m, nil
+}
+
+// splitLines strips comments and blanks and measures indentation.
+func splitLines(src []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(string(src), "\n") {
+		line := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, yamlErrf(num+1, "tab in indentation (YAML requires spaces)")
+		}
+		content := stripComment(line[indent:])
+		content = strings.TrimRight(content, " ")
+		if content == "" {
+			continue
+		}
+		if strings.HasPrefix(content, "%") || content == "---" {
+			return nil, yamlErrf(num+1, "directives and multi-document streams are outside the plan subset")
+		}
+		out = append(out, yamlLine{num: num + 1, indent: indent, content: content})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `#` comment, honoring quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' {
+				return strings.TrimRight(s[:i], " ")
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly the given indent as either
+// a mapping or a sequence, returning the value and the index of the first
+// unconsumed line.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if strings.HasPrefix(lines[i].content, "- ") || lines[i].content == "-" {
+		return parseSequence(lines, i, indent)
+	}
+	return parseMapping(lines, i, indent)
+}
+
+// parseMapping parses `key: ...` lines at the given indent.
+func parseMapping(lines []yamlLine, i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, yamlErrf(ln.num, "unexpected indentation (no open block takes it)")
+		}
+		if strings.HasPrefix(ln.content, "- ") || ln.content == "-" {
+			return nil, 0, yamlErrf(ln.num, "list item in a mapping block")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, 0, yamlErrf(ln.num, "duplicate key %q", key)
+		}
+		i++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` opens a nested block if the next line indents deeper.
+		if i < len(lines) && lines[i].indent > indent {
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[key] = v
+			i = next
+			continue
+		}
+		m[key] = nil
+	}
+	return m, i, nil
+}
+
+// parseSequence parses `- item` lines at the given indent (scalar items
+// only — nested structures under a dash are outside the subset).
+func parseSequence(lines []yamlLine, i, indent int) (any, int, error) {
+	var seq []any
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, yamlErrf(ln.num, "nested blocks under a list item are outside the plan subset")
+		}
+		if !strings.HasPrefix(ln.content, "- ") && ln.content != "-" {
+			return nil, 0, yamlErrf(ln.num, "expected a `- item` in this list")
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(ln.content, "-"))
+		if item == "" {
+			return nil, 0, yamlErrf(ln.num, "empty list item")
+		}
+		if strings.Contains(item, ": ") || strings.HasSuffix(item, ":") {
+			return nil, 0, yamlErrf(ln.num, "mappings inside lists are outside the plan subset")
+		}
+		v, err := parseScalarOrFlow(item, ln.num)
+		if err != nil {
+			return nil, 0, err
+		}
+		seq = append(seq, v)
+		i++
+	}
+	return seq, i, nil
+}
+
+// splitKey splits `key: rest` (rest may be empty).
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	c := ln.content
+	idx := strings.Index(c, ":")
+	if idx <= 0 {
+		return "", "", yamlErrf(ln.num, "expected `key: value`, got %q", c)
+	}
+	key = strings.TrimSpace(c[:idx])
+	rest = strings.TrimSpace(c[idx+1:])
+	if key == "" {
+		return "", "", yamlErrf(ln.num, "empty key")
+	}
+	if strings.HasPrefix(key, "\"") || strings.HasPrefix(key, "'") {
+		return "", "", yamlErrf(ln.num, "quoted keys are outside the plan subset")
+	}
+	if rest != "" && !strings.HasPrefix(c[idx+1:], " ") {
+		return "", "", yamlErrf(ln.num, "missing space after `:` in %q", c)
+	}
+	return key, rest, nil
+}
+
+// parseScalarOrFlow parses a scalar or a flow sequence `[a, b, c]`.
+func parseScalarOrFlow(s string, line int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, yamlErrf(line, "unterminated flow sequence %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitFlow(inner, line)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]any, 0, len(parts))
+		for _, p := range parts {
+			v, err := parseScalar(strings.TrimSpace(p), line)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, yamlErrf(line, "flow mappings are outside the plan subset (use an indented block)")
+	}
+	return parseScalar(s, line)
+}
+
+// splitFlow splits flow-sequence items on top-level commas, honoring quotes.
+func splitFlow(s string, line int) ([]string, error) {
+	var parts []string
+	start := 0
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == ',' && !inSingle && !inDouble:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		case (r == '[' || r == ']') && !inSingle && !inDouble:
+			return nil, yamlErrf(line, "nested flow sequences are outside the plan subset")
+		}
+	}
+	if inSingle || inDouble {
+		return nil, yamlErrf(line, "unterminated quote in flow sequence")
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+// parseScalar interprets one scalar token.
+func parseScalar(s string, line int) (any, error) {
+	switch s {
+	case "", "null", "~":
+		return nil, nil
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	}
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		q := s[0]
+		if len(s) < 2 || s[len(s)-1] != q {
+			return nil, yamlErrf(line, "unterminated quoted string %s", s)
+		}
+		body := s[1 : len(s)-1]
+		if q == '"' {
+			body = strings.ReplaceAll(body, `\"`, `"`)
+			body = strings.ReplaceAll(body, `\\`, `\`)
+		} else {
+			body = strings.ReplaceAll(body, "''", "'")
+		}
+		return body, nil
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	return s, nil
+}

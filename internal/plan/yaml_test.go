@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLDocument(t *testing.T) {
+	src := `
+# experiment plan
+plan: codecs   # trailing comment
+run:
+  dataset: fb15k
+  lr: 0.1
+  epochs: 3
+  noHeterogeneity: true
+  note: "a # not a comment"
+sweep:
+  codec: [fp32, int8, delta-int8]
+  cacheBudget:
+    - 0.01
+    - 0.05
+empty:
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	want := map[string]any{
+		"plan": "codecs",
+		"run": map[string]any{
+			"dataset":         "fb15k",
+			"lr":              0.1,
+			"epochs":          int64(3),
+			"noHeterogeneity": true,
+			"note":            "a # not a comment",
+		},
+		"sweep": map[string]any{
+			"codec":       []any{"fp32", "int8", "delta-int8"},
+			"cacheBudget": []any{0.01, 0.05},
+		},
+		"empty": nil,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseYAML =\n%#v\nwant\n%#v", got, want)
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	src := `
+a: null
+b: ~
+c: true
+d: False
+e: -42
+f: 3.5e-2
+g: 'it''s'
+h: "x\"y"
+i: bare string
+j: []
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	checks := map[string]any{
+		"a": nil, "b": nil, "c": true, "d": false,
+		"e": int64(-42), "f": 3.5e-2,
+		"g": "it's", "h": `x"y`, "i": "bare string",
+	}
+	for k, want := range checks {
+		if !reflect.DeepEqual(got[k], want) {
+			t.Errorf("%s = %#v, want %#v", k, got[k], want)
+		}
+	}
+	if seq, ok := got["j"].([]any); !ok || len(seq) != 0 {
+		t.Errorf("j = %#v, want empty sequence", got["j"])
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+		wantLine           string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tab in indentation", "line 2"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key", "line 2"},
+		{"directive", "%YAML 1.2\na: 1", "outside the plan subset", "line 1"},
+		{"multi-doc", "a: 1\n---\nb: 2", "outside the plan subset", "line 2"},
+		{"flow mapping", "a: {b: 1}", "flow mappings", "line 1"},
+		{"nested flow", "a: [[1], 2]", "nested flow sequences", "line 1"},
+		{"unterminated flow", "a: [1, 2", "unterminated flow sequence", "line 1"},
+		{"unterminated quote", `a: "oops`, "unterminated quoted string", "line 1"},
+		{"missing colon space", "a:1", "missing space", "line 1"},
+		{"quoted key", `"a": 1`, "quoted keys", "line 1"},
+		{"stray indent", "a: 1\n  b: 2", "unexpected indentation", "line 2"},
+		{"list in mapping", "a: 1\n- b", "list item in a mapping", "line 2"},
+		{"mapping in list", "a:\n  - k: v", "mappings inside lists", "line 2"},
+		{"top-level list", "- a\n- b", "must be a mapping", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantSub)
+			}
+			if tc.wantLine != "" && !strings.Contains(err.Error(), tc.wantLine) {
+				t.Fatalf("error = %v, want it to cite %s", err, tc.wantLine)
+			}
+		})
+	}
+}
+
+func TestParseYAMLEmpty(t *testing.T) {
+	got, err := parseYAML([]byte("\n# only comments\n"))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parseYAML = %#v, want empty mapping", got)
+	}
+}

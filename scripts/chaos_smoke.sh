@@ -33,9 +33,11 @@ go build -o "$tmp/hetkg-train" ./cmd/hetkg-train
 # the full keyspace, so every degraded pull is stale-servable. Evaluation
 # is deferred to the end so no epoch barrier needs the downed shard. Epoch
 # count is sized so the run comfortably outlasts the 12 s fault window.
+# The shared artifact cache generates the dataset and partition once for
+# the whole drill (2 shard pairs + 2 trainers) instead of once per process.
 addr0=127.0.0.1:17980
 addr1=127.0.0.1:17981
-cfg="-dataset fb15k -scale tiny -machines 2 -seed 42"
+cfg="-dataset fb15k -scale tiny -machines 2 -seed 42 -artifacts $tmp/artifacts"
 traincfg="$cfg -system hetkg-c -shards $addr0,$addr1 -epochs 250 -batch 16 \
     -cache 100000 -prefetch 2000 -degraded-max-staleness 100000 \
     -rpc-timeout 500ms -eval-every 1000"

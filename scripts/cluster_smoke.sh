@@ -22,11 +22,12 @@ go build -o "$tmp/hetkg-top" ./cmd/hetkg-top
 
 # One fast, small run config, shared by every process (the deterministic
 # derivation demands it); trainers add the loop knobs shards don't take.
-# Aggressive timings so detection fits in seconds.
+# Aggressive timings so detection fits in seconds. A shared artifact cache
+# means the dataset and partition are generated once, not once per process.
 addr0=127.0.0.1:17970
 addr1=127.0.0.1:17971
 obsaddr=127.0.0.1:17972
-cfg="-dataset fb15k -scale tiny -machines 2 -seed 42"
+cfg="-dataset fb15k -scale tiny -machines 2 -seed 42 -artifacts $tmp/artifacts"
 traincfg="$cfg -system hetkg-c -epochs 12 -batch 16 -join $addr0 -ckpt-dir $tmp/ckpt -ckpt-every 4"
 
 echo "== starting shards (coordinator on $addr0)"
